@@ -1,0 +1,391 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 5) and runs bechamel micro-benchmarks of the pipelines.
+
+   Usage:
+     dune exec bench/main.exe                 -- table1 fig7 fig8 fig9 (quick budgets)
+     dune exec bench/main.exe -- table1       -- a single experiment
+     dune exec bench/main.exe -- full         -- everything at paper-scale PSO budgets
+     dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- ablate       -- design-choice ablations
+
+   Absolute times differ from the paper (different workload realisations and
+   a simulated substrate); the comparisons that matter are the shapes:
+   original vs DFT-without-PSO vs DFT-with-PSO (Table 1), DFT with free
+   control beating the original (Fig. 7), original multi-port tests needing
+   fewer vectors than single-source single-meter DFT (Fig. 8), and the PSO
+   convergence (Fig. 9). *)
+
+module Chip = Mf_arch.Chip
+module Assays = Mf_bioassay.Assays
+module Benchmarks = Mf_chips.Benchmarks
+module Codesign = Mfdft.Codesign
+module Pool = Mfdft.Pool
+module Pso = Mf_pso.Pso
+module Rng = Mf_util.Rng
+
+let chips = [ "ivd_chip"; "ra30_chip"; "mrna_chip" ]
+let assays = [ "ivd"; "pid"; "cpa" ]
+
+let pp_opt ppf = function
+  | Some v -> Fmt.pf ppf "%5d" v
+  | None -> Fmt.pf ppf "    -"
+
+(* ------------------------------------------------------------------ *)
+(* Shared evaluation: one codesign run per chip x assay, pool per chip. *)
+
+type cell = { assay : string; result : (Codesign.result, string) result }
+
+type row = { chip_label : string; cells : cell list }
+
+let evaluate ~params =
+  List.map
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      let rng = Rng.create ~seed:params.Codesign.seed in
+      let pool =
+        Pool.build ~size:params.Codesign.pool_size ~node_limit:params.Codesign.ilp_node_limit
+          ~rng chip
+      in
+      let count kind =
+        Array.to_list (Chip.devices chip)
+        |> List.filter (fun (d : Chip.device) -> d.kind = kind)
+        |> List.length
+      in
+      let chip_label =
+        Printf.sprintf "%s (%d mixers, %d detectors, %d valves)" (Chip.name chip)
+          (count Chip.Mixer) (count Chip.Detector) (Chip.n_valves chip)
+      in
+      let cells =
+        List.map
+          (fun assay ->
+            let app = Option.get (Assays.by_name assay) in
+            let result =
+              match pool with
+              | Error m -> Error m
+              | Ok pool -> Codesign.run ~params ~pool chip app
+            in
+            { assay; result })
+          assays
+      in
+      Format.printf "  [%s done]@." chip_name;
+      { chip_label; cells })
+    chips
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let print_table1 rows =
+  Format.printf "@.== Table 1: Results of DFT Augmentation ==@.";
+  Format.printf
+    "(per assay, first line: #DFT valves | #valves sharing | flow runtime [s];@.";
+  Format.printf
+    " second line: exec time original | with DFT no PSO | with DFT + PSO [s])@.@.";
+  Format.printf "%-45s" "";
+  List.iter (fun a -> Format.printf "| %-19s " (String.uppercase_ascii a)) assays;
+  Format.printf "@.";
+  List.iter
+    (fun row ->
+      Format.printf "%-45s" row.chip_label;
+      List.iter
+        (fun cell ->
+          match cell.result with
+          | Error _ -> Format.printf "| %-19s " "FAILED"
+          | Ok r ->
+            Format.printf "| %3d %3d %11.1f " r.Codesign.n_dft_valves r.Codesign.n_shared
+              r.Codesign.runtime)
+        row.cells;
+      Format.printf "@.%-45s" "";
+      List.iter
+        (fun cell ->
+          match cell.result with
+          | Error m -> Format.printf "| %-19s " (String.sub m 0 (min 19 (String.length m)))
+          | Ok r ->
+            Format.printf "| %a %a %a  " pp_opt r.Codesign.exec_original pp_opt
+              r.Codesign.exec_dft_no_pso pp_opt r.Codesign.exec_final)
+        row.cells;
+      Format.printf "@.")
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7 *)
+
+let print_fig7 rows =
+  Format.printf "@.== Figure 7: execution time, original chip vs DFT architecture ==@.";
+  Format.printf "   (DFT valves on their own control lines: extra resources, no sharing)@.@.";
+  Format.printf "%-14s %-8s %12s %18s@." "chip" "assay" "original[s]" "DFT unshared[s]";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun cell ->
+          match cell.result with
+          | Error _ -> ()
+          | Ok r ->
+            Format.printf "%-14s %-8s %a        %a%s@."
+              (List.nth (String.split_on_char ' ' row.chip_label) 0)
+              cell.assay pp_opt r.Codesign.exec_original pp_opt r.Codesign.exec_dft_unshared
+              (match (r.Codesign.exec_original, r.Codesign.exec_dft_unshared) with
+               | Some o, Some d when d < o -> "   (DFT faster)"
+               | Some o, Some d when d = o -> "   (equal)"
+               | Some _, Some _ | Some _, None | None, Some _ | None, None -> ""))
+        row.cells)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8 *)
+
+let print_fig8 rows =
+  Format.printf "@.== Figure 8: number of test vectors (and estimated test time) ==@.";
+  Format.printf "   (multi-port original chip vs single-source single-meter DFT)@.@.";
+  Format.printf "%-14s %10s %12s %10s %12s@." "chip" "orig vecs" "orig time" "DFT vecs"
+    "DFT time";
+  List.iter2
+    (fun chip_name row ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      let original = Mf_testgen.Multiport.generate chip in
+      let n_original =
+        original.Mf_testgen.Multiport.n_path_vectors
+        + original.Mf_testgen.Multiport.n_cut_vectors
+      in
+      let layout = Mf_control.Control.synthesize chip in
+      let orig_time =
+        Mf_testgen.Testtime.total chip layout original.Mf_testgen.Multiport.vectors
+      in
+      let dft =
+        List.filter_map
+          (fun cell ->
+            match cell.result with
+            | Ok r ->
+              let aug = r.Codesign.shared in
+              let aug_layout = Mf_control.Control.synthesize aug in
+              let vectors = Mf_testgen.Vectors.vectors aug r.Codesign.suite in
+              Some (r.Codesign.n_vectors_dft, Mf_testgen.Testtime.total aug aug_layout vectors)
+            | Error _ -> None)
+          row.cells
+      in
+      let dft_str, dft_time =
+        match dft with
+        | [] -> ("-", "-")
+        | (n, t) :: rest ->
+          let n = List.fold_left (fun acc (m, _) -> max acc m) n rest in
+          let t = List.fold_left (fun acc (_, u) -> max acc u) t rest in
+          (string_of_int n, Printf.sprintf "%.0f" t)
+      in
+      Format.printf "%-14s %10d %12.0f %10s %12s@." chip_name n_original orig_time dft_str
+        dft_time)
+    chips rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9 *)
+
+let fig9_combos = [ ("ivd_chip", "ivd"); ("ra30_chip", "pid"); ("mrna_chip", "cpa") ]
+
+let index_of x l =
+  let rec go i = function
+    | [] -> invalid_arg "index_of"
+    | y :: rest -> if x = y then i else go (i + 1) rest
+  in
+  go 0 l
+
+let print_fig9 rows =
+  Format.printf "@.== Figure 9: application execution time during PSO iterations ==@.@.";
+  List.iter
+    (fun (chip_name, assay) ->
+      let row = List.nth rows (index_of chip_name chips) in
+      let cell = List.find (fun c -> c.assay = assay) row.cells in
+      match cell.result with
+      | Error m -> Format.printf "%s/%s: %s@." chip_name assay m
+      | Ok r ->
+        let stride = max 1 (List.length r.Codesign.trace / 20) in
+        Format.printf "%s/%s:@.  iter:" chip_name assay;
+        List.iteri
+          (fun i _ -> if i mod stride = 0 then Format.printf "%7d" (i + 1))
+          r.Codesign.trace;
+        Format.printf "@.  best:";
+        List.iteri
+          (fun i v ->
+            if i mod stride = 0 then
+              if v >= Codesign.invalid_threshold then Format.printf "%7s" "-"
+              else Format.printf "%7.0f" v)
+          r.Codesign.trace;
+        Format.printf "@.")
+    fig9_combos
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let print_ablations () =
+  Format.printf "@.== Ablations ==@.";
+  Format.printf "@.-- DFT generation: ILP node budget vs configuration size --@.";
+  Format.printf "%-14s %14s %12s %12s@." "chip" "budget[nodes]" "added edges" "paths";
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      List.iter
+        (fun budget ->
+          match Mf_testgen.Pathgen.generate ~node_limit:budget chip with
+          | Error m -> Format.printf "%-14s %14d %s@." chip_name budget m
+          | Ok c ->
+            Format.printf "%-14s %14d %12d %12d@." chip_name budget
+              (List.length c.Mf_testgen.Pathgen.added_edges)
+              c.Mf_testgen.Pathgen.n_paths)
+        [ 100; 400; 1200 ])
+    chips;
+  Format.printf "@.-- Stuck-at-1 cuts: forced min-cut generator vs worst-case fallback --@.";
+  Format.printf "%-14s %12s %12s@." "chip" "min-cut" "fallback";
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      match Mf_testgen.Pathgen.generate ~node_limit:400 chip with
+      | Error m -> Format.printf "%-14s %s@." chip_name m
+      | Ok config ->
+        let aug = Mf_testgen.Pathgen.apply chip config in
+        let minimal =
+          Mf_testgen.Cutgen.generate aug ~source:config.Mf_testgen.Pathgen.src_port
+            ~meter:config.Mf_testgen.Pathgen.dst_port
+        in
+        let fallback =
+          Mf_testgen.Cutgen.fallback_cuts aug ~source:config.Mf_testgen.Pathgen.src_port
+            ~meter:config.Mf_testgen.Pathgen.dst_port config.Mf_testgen.Pathgen.paths
+        in
+        Format.printf "%-14s %12d %12d@." chip_name
+          (List.length minimal.Mf_testgen.Cutgen.cuts)
+          (List.length fallback))
+    chips;
+  Format.printf "@.-- Control layer: routing cost of valve sharing (refs [12],[14]) --@.";
+  Format.printf "%-14s %8s %10s %10s %10s@." "chip" "ports" "length" "max skew" "unrouted";
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      let layout = Mf_control.Control.synthesize chip in
+      Format.printf "%-14s %8d %10d %10.1f %10d@." chip_name
+        (Mf_control.Control.n_ports layout)
+        (Mf_control.Control.total_length layout)
+        (Mf_control.Control.max_skew layout)
+        (List.length layout.Mf_control.Control.unrouted);
+      match Mf_testgen.Pathgen.generate ~node_limit:400 chip with
+      | Error _ -> ()
+      | Ok config ->
+        let aug = Mf_testgen.Pathgen.apply chip config in
+        let free = Mf_control.Control.synthesize aug in
+        Format.printf "%-14s %8d %10d %10.1f %10d@."
+          (chip_name ^ "+DFT")
+          (Mf_control.Control.n_ports free)
+          (Mf_control.Control.total_length free)
+          (Mf_control.Control.max_skew free)
+          (List.length free.Mf_control.Control.unrouted))
+    chips;
+  Format.printf
+    "   (sharing keeps the port count at the original chip's; the price is@.";
+  Format.printf
+    "    longer trees, actuation skew, and possible planarity failures)@.";
+  Format.printf "@.-- Scheduler: distributed channel storage off / washing on --@.";
+  Format.printf "%-14s %-8s %12s %14s %12s@." "chip" "assay" "default[s]" "no storage[s]"
+    "washing[s]";
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      List.iter
+        (fun assay ->
+          let app = Option.get (Assays.by_name assay) in
+          let with_storage = Mf_sched.Scheduler.makespan chip app in
+          let without =
+            Mf_sched.Scheduler.makespan
+              ~options:{ Mf_sched.Scheduler.default_options with allow_storage = false }
+              chip app
+          in
+          let washed =
+            Mf_sched.Scheduler.makespan
+              ~options:{ Mf_sched.Scheduler.default_options with wash = true }
+              chip app
+          in
+          Format.printf "%-14s %-8s %a      %a     %a@." chip_name assay pp_opt with_storage
+            pp_opt without pp_opt washed)
+        assays)
+    chips
+
+(* ------------------------------------------------------------------ *)
+(* bechamel micro-benchmarks *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let ivd = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  let config =
+    match Mf_testgen.Pathgen.generate ~node_limit:300 ivd with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let aug = Mf_testgen.Pathgen.apply ivd config in
+  let suite =
+    Mf_testgen.Vectors.of_config config
+      (Mf_testgen.Cutgen.generate aug ~source:config.Mf_testgen.Pathgen.src_port
+         ~meter:config.Mf_testgen.Pathgen.dst_port)
+  in
+  let tests =
+    [
+      Test.make ~name:"pathgen-ivd" (Staged.stage (fun () ->
+          ignore (Mf_testgen.Pathgen.generate ~node_limit:100 ivd)));
+      Test.make ~name:"cutgen-ivd" (Staged.stage (fun () ->
+          ignore
+            (Mf_testgen.Cutgen.generate aug ~source:config.Mf_testgen.Pathgen.src_port
+               ~meter:config.Mf_testgen.Pathgen.dst_port)));
+      Test.make ~name:"fault-sim-validate-ivd" (Staged.stage (fun () ->
+          ignore (Mf_testgen.Vectors.validate aug suite)));
+      Test.make ~name:"schedule-ivd-on-ivd-chip" (Staged.stage (fun () ->
+          ignore (Mf_sched.Scheduler.makespan ivd app)));
+      Test.make ~name:"pso-100-evals-sphere" (Staged.stage (fun () ->
+          let rng = Rng.create ~seed:1 in
+          ignore
+            (Pso.run
+               ~params:{ Pso.default_params with particles = 5; iterations = 19 }
+               ~rng ~dim:8
+               ~fitness:(fun x -> Array.fold_left (fun a v -> a +. (v *. v)) 0. x)
+               ())));
+      Test.make ~name:"multiport-vectors-ivd" (Staged.stage (fun () ->
+          ignore (Mf_testgen.Multiport.generate ivd)));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  Format.printf "@.== Micro-benchmarks (bechamel, monotonic clock) ==@.@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Format.printf "%-30s %14.0f ns/run@." name est
+          | Some [] | None -> Format.printf "%-30s (no estimate)@." name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] then [ "table1"; "fig7"; "fig8"; "fig9" ] else args in
+  let full = List.mem "full" args in
+  let params = if full then Codesign.default_params else Codesign.quick_params in
+  let wants name =
+    full || List.mem name args || List.mem "all" args
+  in
+  let needs_rows =
+    full
+    || List.exists (fun a -> List.mem a args) [ "table1"; "fig7"; "fig8"; "fig9"; "all" ]
+  in
+  Format.printf "mfdft reproduction harness (%s PSO budgets: %d outer x %d inner iterations)@."
+    (if full then "paper-scale" else "quick")
+    params.Codesign.outer.Pso.iterations params.Codesign.inner.Pso.iterations;
+  let rows = if needs_rows then evaluate ~params else [] in
+  if needs_rows && wants "table1" then print_table1 rows;
+  if needs_rows && wants "fig7" then print_fig7 rows;
+  if needs_rows && wants "fig8" then print_fig8 rows;
+  if needs_rows && wants "fig9" then print_fig9 rows;
+  if wants "ablate" then print_ablations ();
+  if List.mem "micro" args || List.mem "all" args then micro ()

@@ -1,0 +1,214 @@
+(* mfdft command-line tool: render chips, generate single-source
+   single-meter test programs, schedule assays, and run the full DFT +
+   valve-sharing codesign. *)
+
+open Cmdliner
+
+module Chip = Mf_arch.Chip
+module Assays = Mf_bioassay.Assays
+module Benchmarks = Mf_chips.Benchmarks
+module Pathgen = Mf_testgen.Pathgen
+module Cutgen = Mf_testgen.Cutgen
+module Vectors = Mf_testgen.Vectors
+module Scheduler = Mf_sched.Scheduler
+module Codesign = Mfdft.Codesign
+
+let chip_conv =
+  let parse s =
+    match Benchmarks.by_name s with
+    | Some chip -> Ok chip
+    | None ->
+      if Sys.file_exists s then
+        match Mf_arch.Chip_io.load s with
+        | Ok chip -> Ok chip
+        | Error m -> Error (`Msg (Printf.sprintf "%s: %s" s m))
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown chip %S (benchmarks: %s; or pass a .chip file)" s
+                (String.concat ", " Benchmarks.names)))
+  in
+  Arg.conv (parse, fun ppf chip -> Fmt.string ppf (Chip.name chip))
+
+let assay_conv =
+  let parse s =
+    match Assays.by_name s with
+    | Some app -> Ok (s, app)
+    | None ->
+      if Sys.file_exists s then
+        match Mf_bioassay.Assay_io.load s with
+        | Ok app -> Ok (Filename.remove_extension (Filename.basename s), app)
+        | Error m -> Error (`Msg (Printf.sprintf "%s: %s" s m))
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown assay %S (bundled: %s; or pass a .assay file)" s
+                (String.concat ", " Assays.names)))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Fmt.string ppf name)
+
+let chip_arg =
+  Arg.(required & opt (some chip_conv) None & info [ "chip" ] ~docv:"CHIP" ~doc:"Benchmark chip (ivd_chip, ra30_chip, mrna_chip).")
+
+let assay_arg =
+  Arg.(required & opt (some assay_conv) None & info [ "assay" ] ~docv:"ASSAY" ~doc:"Bioassay (ivd, pid, cpa).")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "chips : %s@." (String.concat ", " Benchmarks.names);
+    Format.printf "assays: %s@." (String.concat ", " Assays.names)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark chips and assays.") Term.(const run $ const ())
+
+let render_cmd =
+  let run chip =
+    Format.printf "%a@.%s@." Chip.pp chip (Chip.render chip)
+  in
+  Cmd.v (Cmd.info "render" ~doc:"Draw a chip's layout.") Term.(const run $ chip_arg)
+
+let testgen_cmd =
+  let run chip node_limit =
+    match Pathgen.generate ~node_limit chip with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+    | Ok config ->
+      let aug = Pathgen.apply chip config in
+      let cuts = Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port in
+      let suite = Vectors.of_config config cuts in
+      let suite = if Vectors.is_valid aug suite then suite else Mf_testgen.Repair.run aug suite in
+      let ports = Chip.ports chip in
+      Format.printf "source port: %s  meter port: %s@."
+        ports.(config.Pathgen.src_port).Chip.port_name
+        ports.(config.Pathgen.dst_port).Chip.port_name;
+      Format.printf "DFT valves added: %d  test paths: %d  cuts: %d  vectors: %d@."
+        (List.length config.Pathgen.added_edges)
+        (List.length suite.Vectors.path_edges)
+        (List.length suite.Vectors.cut_valves)
+        (Vectors.count suite);
+      Format.printf "%s@." (Chip.render aug);
+      let report = Vectors.validate aug suite in
+      Format.printf "fault simulation: %a@." Mf_faults.Coverage.pp report;
+      if not (Mf_faults.Coverage.complete report) then exit 2
+  in
+  let node_limit =
+    Arg.(value & opt int 1200 & info [ "ilp-budget" ] ~docv:"NODES" ~doc:"ILP node budget.")
+  in
+  Cmd.v
+    (Cmd.info "testgen" ~doc:"Generate the single-source single-meter test program for a chip.")
+    Term.(const run $ chip_arg $ node_limit)
+
+let schedule_cmd =
+  let run chip (assay_name, app) transport_cost verbose =
+    let options = { Scheduler.default_options with transport_cost } in
+    match Scheduler.run ~options chip app with
+    | Error f ->
+      Format.eprintf "schedule failed: %a@." Mf_sched.Schedule.pp_failure f;
+      exit 1
+    | Ok s ->
+      Format.printf "%s on %s: %a@." assay_name (Chip.name chip) Mf_sched.Schedule.pp s;
+      if verbose then
+        List.iter
+          (fun ev ->
+            match ev with
+            | Mf_sched.Schedule.Op_started { op; device; time } ->
+              Format.printf "  t=%4d  start op %d on device %d@." time op device
+            | Mf_sched.Schedule.Op_finished { op; device; time } ->
+              Format.printf "  t=%4d  finish op %d on device %d@." time op device
+            | Mf_sched.Schedule.Transport_started { unit_id; time; finish; _ } ->
+              Format.printf "  t=%4d  move fluid %d (arrives %d)@." time unit_id finish
+            | Mf_sched.Schedule.Unit_stored { unit_id; edge; time } ->
+              Format.printf "  t=%4d  store fluid %d in channel %d@." time unit_id edge
+            | Mf_sched.Schedule.Unit_parked { unit_id; port_node; time } ->
+              Format.printf "  t=%4d  park fluid %d at port node %d@." time unit_id port_node)
+          s.Mf_sched.Schedule.events
+  in
+  let transport_cost =
+    Arg.(value & opt int 1 & info [ "transport-cost" ] ~docv:"TICKS" ~doc:"Ticks per channel segment.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the event log.") in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule an assay on a chip and report the execution time.")
+    Term.(const run $ chip_arg $ assay_arg $ transport_cost $ verbose)
+
+let codesign_cmd =
+  let run chip (assay_name, app) full seed report =
+    let params =
+      let base = if full then Codesign.default_params else Codesign.quick_params in
+      { base with Codesign.seed }
+    in
+    Format.printf "codesign %s / %s (%s budgets, seed %d)...@." (Chip.name chip) assay_name
+      (if full then "paper-scale" else "quick")
+      seed;
+    match Codesign.run ~params chip app with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+    | Ok r ->
+      let pp_time ppf = function Some t -> Fmt.pf ppf "%d s" t | None -> Fmt.pf ppf "n/a" in
+      Format.printf "%s@." (Chip.render r.Codesign.augmented);
+      Format.printf "DFT valves: %d  sharing: %d  vectors: %d  runtime: %.1f s@."
+        r.Codesign.n_dft_valves r.Codesign.n_shared r.Codesign.n_vectors_dft r.Codesign.runtime;
+      Format.printf "exec original: %a   DFT free-control: %a   DFT no-PSO: %a   DFT+PSO: %a@."
+        pp_time r.Codesign.exec_original pp_time r.Codesign.exec_dft_unshared pp_time
+        r.Codesign.exec_dft_no_pso pp_time r.Codesign.exec_final;
+      match report with
+      | None -> ()
+      | Some path ->
+        Mfdft.Report.save path r;
+        Format.printf "report written to %s@." path
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale PSO budgets (100 iterations).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PSO random seed.") in
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"Write a Markdown report.")
+  in
+  Cmd.v
+    (Cmd.info "codesign" ~doc:"Run the full DFT + valve-sharing codesign flow (Sec. 4.2).")
+    Term.(const run $ chip_arg $ assay_arg $ full $ seed $ report)
+
+let export_cmd =
+  let run chip assay_opt out_dir =
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let write name contents =
+      let path = Filename.concat out_dir name in
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+      Format.printf "wrote %s@." path
+    in
+    write "chip.svg" (Mf_viz.Svg.chip chip);
+    let layout = Mf_control.Control.synthesize chip in
+    write "control.svg" (Mf_viz.Svg.control_layer chip layout);
+    (match Mf_testgen.Pathgen.generate ~node_limit:600 chip with
+     | Error m -> Format.eprintf "testgen failed: %s@." m
+     | Ok config ->
+       let aug = Mf_testgen.Pathgen.apply chip config in
+       write "chip_dft.svg" (Mf_viz.Svg.chip aug);
+       write "control_dft.svg" (Mf_viz.Svg.control_layer aug (Mf_control.Control.synthesize aug)));
+    match assay_opt with
+    | None -> ()
+    | Some (assay_name, app) -> (
+        match Scheduler.run chip app with
+        | Error f -> Format.eprintf "schedule failed: %a@." Mf_sched.Schedule.pp_failure f
+        | Ok s -> write (Printf.sprintf "schedule_%s.svg" assay_name) (Mf_viz.Svg.schedule app s))
+  in
+  let assay_opt =
+    Arg.(value & opt (some assay_conv) None & info [ "assay" ] ~docv:"ASSAY" ~doc:"Also export a schedule Gantt chart.")
+  in
+  let out_dir =
+    Arg.(value & opt string "svg-out" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export SVG renderings (flow layer, control layer, schedule).")
+    Term.(const run $ chip_arg $ assay_opt $ out_dir)
+
+let () =
+  let info =
+    Cmd.info "mfdft" ~version:"1.0.0"
+      ~doc:"Design-for-testability for continuous-flow microfluidic biochips (DAC 2018 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; render_cmd; testgen_cmd; schedule_cmd; codesign_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/control_layer.ml: Array Format List Mf_arch Mf_chips Mf_control Mf_graph Mf_grid Mf_testgen Option Printf

@@ -1,0 +1,1 @@
+examples/custom_chip.ml: Format List Mf_arch Mf_bioassay Mf_sched Mf_testgen

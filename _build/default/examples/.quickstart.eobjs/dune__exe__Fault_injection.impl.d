@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Array Fmt Format List Mf_arch Mf_chips Mf_faults Mf_graph Mf_grid Mf_testgen Mf_util Option

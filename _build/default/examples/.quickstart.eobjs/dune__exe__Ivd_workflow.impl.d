@@ -1,0 +1,1 @@
+examples/ivd_workflow.ml: Fmt Format List Mf_arch Mf_bioassay Mf_chips Mf_testgen Mfdft Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Format List Mf_arch Mf_faults Mf_grid Mf_testgen

@@ -1,0 +1,1 @@
+examples/scaling_sweep.ml: Fmt Format List Mf_arch Mf_bioassay Mf_chips Mf_control Mf_sched Mf_testgen Mf_util Printf

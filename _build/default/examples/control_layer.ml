@@ -1,0 +1,66 @@
+(* The other half of the "no additional control ports" story: route the
+   control layer of the RA30 chip before and after DFT + sharing and
+   compare port counts, channel lengths and actuation skew.
+
+   Run with:  dune exec examples/control_layer.exe *)
+
+module Chip = Mf_arch.Chip
+module Control = Mf_control.Control
+module Pathgen = Mf_testgen.Pathgen
+
+let describe label chip =
+  let layout = Control.synthesize chip in
+  Format.printf "%-28s %3d control ports, channel length %3d, worst skew %5.1f%s@." label
+    (Control.n_ports layout) (Control.total_length layout) (Control.max_skew layout)
+    (if layout.Control.unrouted = [] then ""
+     else Printf.sprintf "  [%d lines not planar-routable!]" (List.length layout.Control.unrouted));
+  layout
+
+let () =
+  let chip = Option.get (Mf_chips.Benchmarks.by_name "ra30_chip") in
+  Format.printf "Flow layer:@.%s@." (Chip.render chip);
+  let _ = describe "original" chip in
+  match Pathgen.generate ~node_limit:400 chip with
+  | Error m -> Format.printf "DFT generation failed: %s@." m
+  | Ok config ->
+    let aug = Pathgen.apply chip config in
+    let _ = describe "augmented, free control" aug in
+    (* pair each DFT valve with a nearby original valve: nested pairs route
+       planarly, unlike arbitrary cross-chip pairings *)
+    let grid = Chip.grid aug in
+    let g = Mf_grid.Grid.graph grid in
+    let midpoint e =
+      let a, b = Mf_graph.Graph.endpoints g e in
+      let ax, ay = Mf_grid.Grid.coords grid a and bx, by = Mf_grid.Grid.coords grid b in
+      (ax + bx, ay + by)
+    in
+    let scheme =
+      Array.to_list (Chip.valves aug)
+      |> List.filter_map (fun (v : Chip.valve) ->
+          if not v.is_dft then None
+          else begin
+            let vx, vy = midpoint v.edge in
+            let nearest =
+              Array.to_list (Chip.valves aug)
+              |> List.filter (fun (w : Chip.valve) -> not w.is_dft)
+              |> List.map (fun (w : Chip.valve) ->
+                  let wx, wy = midpoint w.edge in
+                  (abs (vx - wx) + abs (vy - wy), w.valve_id))
+              |> List.sort compare
+            in
+            match nearest with
+            | (_, o) :: _ -> Some (v.valve_id, o)
+            | [] -> None
+          end)
+    in
+    let shared = Chip.with_sharing aug scheme in
+    let layout = describe "augmented, locality sharing" shared in
+    Format.printf "@.Sharing pairs (DFT valve -> original valve):@.";
+    List.iter (fun (d, o) -> Format.printf "  v%d -> v%d@." d o) scheme;
+    Format.printf "@.Per-line actuation skew on the shared chip:@.";
+    List.iter
+      (fun (r : Control.route) ->
+        match Control.skew layout ~line:r.Control.line with
+        | Some s when s > 0. -> Format.printf "  line %d: skew %.1f@." r.Control.line s
+        | Some _ | None -> ())
+      layout.Control.routes

@@ -1,0 +1,56 @@
+(* The full codesign flow of the paper on a Table-1 combination: the IVD
+   assay running on the IVD chip.
+
+   The flow (Sec. 4.2):
+   1. build a pool of DFT configurations with the ILP of Sec. 3;
+   2. two-level PSO: outer = which configuration, inner = which original
+      valve each DFT valve shares its control line with;
+   3. every sharing scheme is validated by exhaustive fault simulation and
+      scored by the application execution time on the re-wired chip.
+
+   Run with:  dune exec examples/ivd_workflow.exe *)
+
+module Chip = Mf_arch.Chip
+module Codesign = Mfdft.Codesign
+module Sharing = Mfdft.Sharing
+module Vectors = Mf_testgen.Vectors
+
+let () =
+  let chip = Option.get (Mf_chips.Benchmarks.by_name "ivd_chip") in
+  let app = Option.get (Mf_bioassay.Assays.by_name "ivd") in
+  Format.printf "Chip under codesign:@.%s@." (Chip.render chip);
+  Format.printf "Application: in-vitro diagnostics, %d operations@.@."
+    (Mf_bioassay.Seqgraph.n_ops app);
+  Format.printf "Running two-level PSO codesign (quick budgets)...@.";
+  match Codesign.run ~params:Codesign.quick_params chip app with
+  | Error m -> Format.printf "codesign failed: %s@." m
+  | Ok r ->
+    Format.printf "@.Augmented architecture ('o' marks DFT valves):@.%s@."
+      (Chip.render r.Codesign.augmented);
+    Format.printf "DFT valves added           : %d@." r.Codesign.n_dft_valves;
+    Format.printf "valves sharing control     : %d  (no new control ports)@."
+      r.Codesign.n_shared;
+    Format.printf "sharing scheme             : %a@." Sharing.pp r.Codesign.sharing;
+    Format.printf "control lines before/after : %d / %d@."
+      (Chip.n_controls r.Codesign.augmented)
+      (Chip.n_controls r.Codesign.shared);
+    Format.printf "test vectors (1 source, 1 meter): %d@." r.Codesign.n_vectors_dft;
+    let pp_time ppf = function
+      | Some t -> Fmt.pf ppf "%d s" t
+      | None -> Fmt.pf ppf "n/a"
+    in
+    Format.printf "@.Execution time of the assay:@.";
+    Format.printf "  original chip                 : %a@." pp_time r.Codesign.exec_original;
+    Format.printf "  DFT, independent control      : %a   (Fig. 7 scenario)@." pp_time
+      r.Codesign.exec_dft_unshared;
+    Format.printf "  DFT + sharing, first valid    : %a@." pp_time r.Codesign.exec_dft_no_pso;
+    Format.printf "  DFT + sharing, after PSO      : %a@." pp_time r.Codesign.exec_final;
+    Format.printf "@.PSO convergence (global best per outer iteration):@.  ";
+    List.iter
+      (fun v -> if v = infinity then Format.printf "inf " else Format.printf "%.0f " v)
+      r.Codesign.trace;
+    Format.printf "@.";
+    Format.printf "@.Final test suite still complete on the shared chip: %b@."
+      (Vectors.is_valid r.Codesign.shared r.Codesign.suite);
+    Format.printf "Flow runtime: %.1f s, %d fitness evaluations@." r.Codesign.runtime
+      r.Codesign.evaluations

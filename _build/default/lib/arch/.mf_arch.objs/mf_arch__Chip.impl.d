@@ -1,0 +1,1 @@
+lib/arch/chip.ml: Array Buffer Fmt Format Hashtbl List Mf_graph Mf_grid Mf_util Printf String

@@ -1,0 +1,1 @@
+lib/arch/chip.mli: Format Mf_grid Mf_util Stdlib

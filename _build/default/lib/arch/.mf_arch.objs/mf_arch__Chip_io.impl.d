@@ -1,0 +1,1 @@
+lib/arch/chip_io.ml: Array Buffer Chip In_channel List Mf_graph Mf_grid Mf_util Option Out_channel Printf String

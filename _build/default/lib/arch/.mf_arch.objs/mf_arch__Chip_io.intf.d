@@ -1,0 +1,1 @@
+lib/arch/chip_io.mli: Chip

@@ -1,0 +1,103 @@
+(** Continuous-flow biochip architecture embedded on a connection grid.
+
+    A chip is a set of {e devices} (mixers, detectors, ...) and {e ports}
+    placed on grid nodes, {e channels} occupying grid edges, and {e valves}
+    sitting on a subset of the channel edges.  Every valve is driven by a
+    {e control line}; in an unaugmented chip each valve has its own line.
+    DFT augmentation ({!augment}) adds channels each carrying a fresh valve;
+    those DFT valves may later share control lines with original valves
+    (see [Mfdft.Sharing]).
+
+    Conventions used throughout the library:
+    - edge ids and node ids are those of [Grid.graph];
+    - valve ids are dense [0 .. n_valves-1], original valves first, DFT
+      valves after [n_original_valves];
+    - control line ids are dense [0 .. n_controls-1]. *)
+
+type device_kind = Mixer | Detector | Heater | Filter
+
+type device = { device_id : int; kind : device_kind; node : int; name : string }
+
+type port = { port_id : int; node : int; port_name : string }
+
+type valve = {
+  valve_id : int;
+  edge : int;  (** grid edge the valve sits on *)
+  control : int;  (** control line driving it *)
+  is_dft : bool;
+}
+
+type t
+
+(** {1 Accessors} *)
+
+val grid : t -> Mf_grid.Grid.t
+val devices : t -> device array
+val ports : t -> port array
+val valves : t -> valve array
+val n_valves : t -> int
+val n_original_valves : t -> int
+(** Valves with id below this are part of the pre-DFT chip. *)
+
+val n_controls : t -> int
+val name : t -> string
+
+val channel_edges : t -> Mf_util.Bitset.t
+(** Edges occupied by channels (a copy; safe to mutate). *)
+
+val is_channel : t -> int -> bool
+val valve_on : t -> int -> valve option
+(** The valve on a given edge, if any. *)
+
+val valves_of_control : t -> int -> valve list
+(** All valves driven by a control line (>1 exactly when lines are shared). *)
+
+val device_at : t -> int -> device option
+val port_at : t -> int -> port option
+
+val dft_edges : t -> int list
+(** Edges added by {!augment}, in addition order. *)
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : name:string -> width:int -> height:int -> builder
+val add_device : builder -> kind:device_kind -> x:int -> y:int -> name:string -> unit
+val add_port : builder -> x:int -> y:int -> name:string -> unit
+
+val add_channel : builder -> (int * int) list -> unit
+(** [add_channel b path] lays channel segments along consecutive grid
+    coordinates [(x, y)]; each pair of consecutive coordinates must be
+    grid-adjacent. *)
+
+val add_valve : builder -> (int * int) -> (int * int) -> unit
+(** [add_valve b a b'] puts a valve on the channel edge between the two
+    coordinates.  The edge must already carry a channel. *)
+
+val finish : builder -> (t, string) Stdlib.result
+(** Validates and freezes the chip.  Checks: no two devices/ports on one
+    node; at least two ports; the channel network connects every port and
+    device; closing all valves separates every pair of ports (otherwise
+    stuck-at-1 defects are untestable and the chip is rejected). *)
+
+val finish_exn : builder -> t
+(** Like {!finish} but raises [Invalid_argument] with the message. *)
+
+(** {1 DFT augmentation and control rewiring} *)
+
+val augment : t -> edges:int list -> t
+(** [augment chip ~edges] returns a chip with the given free grid edges
+    added as channels, each carrying a fresh DFT valve on a fresh control
+    line.  Augmenting an already augmented chip replaces the previous
+    augmentation.  Raises if an edge is already a channel. *)
+
+val with_sharing : t -> (int * int) list -> t
+(** [with_sharing chip assignments] rewires control lines: each pair
+    [(dft_valve_id, original_valve_id)] makes the DFT valve share the
+    original valve's control line.  Unlisted DFT valves keep their own
+    line.  Control line ids are re-densified. *)
+
+val pp : Format.formatter -> t -> unit
+val render : t -> string
+(** ASCII picture of the chip on its grid, for examples and debugging. *)

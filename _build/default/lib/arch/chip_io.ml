@@ -1,0 +1,217 @@
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+
+let kind_of_string = function
+  | "mixer" -> Some Chip.Mixer
+  | "detector" -> Some Chip.Detector
+  | "heater" -> Some Chip.Heater
+  | "filter" -> Some Chip.Filter
+  | _ -> None
+
+let string_of_kind = function
+  | Chip.Mixer -> "mixer"
+  | Chip.Detector -> "detector"
+  | Chip.Heater -> "heater"
+  | Chip.Filter -> "filter"
+
+let parse_point s =
+  match String.split_on_char ',' s with
+  | [ x; y ] -> (
+      match (int_of_string_opt x, int_of_string_opt y) with
+      | Some x, Some y -> Some (x, y)
+      | _, _ -> None)
+  | _ -> None
+
+type accumulator = {
+  mutable builder : Chip.builder option;
+  mutable dft : ((int * int) * (int * int)) list; (* reversed *)
+  mutable share : (int * int) list; (* reversed *)
+}
+
+let parse text =
+  let acc = { builder = None; dft = []; share = [] } in
+  let error line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let rec process lineno = function
+    | [] -> finish ()
+    | raw :: rest ->
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+      in
+      (match words with
+       | [] -> process (lineno + 1) rest
+       | "chip" :: args -> (
+           match (acc.builder, args) with
+           | Some _, _ -> error lineno "duplicate chip header"
+           | None, [ name; w; h ] -> (
+               match (int_of_string_opt w, int_of_string_opt h) with
+               | Some width, Some height when width > 0 && height > 0 ->
+                 (try
+                    acc.builder <- Some (Chip.builder ~name ~width ~height);
+                    process (lineno + 1) rest
+                  with Invalid_argument m -> error lineno m)
+               | _, _ -> error lineno "chip header needs positive WIDTH HEIGHT")
+           | None, _ -> error lineno "usage: chip NAME WIDTH HEIGHT")
+       | directive :: args -> (
+           match acc.builder with
+           | None -> error lineno "the first directive must be the chip header"
+           | Some b -> (
+               let with_points points k =
+                 let parsed = List.map parse_point points in
+                 if List.exists (( = ) None) parsed then
+                   error lineno "points must look like X,Y"
+                 else
+                   try
+                     k (List.map Option.get parsed);
+                     process (lineno + 1) rest
+                   with Invalid_argument m -> error lineno m
+               in
+               match (directive, args) with
+               | "device", [ kind; x; y; name ] -> (
+                   match (kind_of_string kind, int_of_string_opt x, int_of_string_opt y) with
+                   | Some kind, Some x, Some y ->
+                     (try
+                        Chip.add_device b ~kind ~x ~y ~name;
+                        process (lineno + 1) rest
+                      with Invalid_argument m -> error lineno m)
+                   | _, _, _ -> error lineno "usage: device KIND X Y NAME")
+               | "device", _ -> error lineno "usage: device KIND X Y NAME"
+               | "port", [ x; y; name ] -> (
+                   match (int_of_string_opt x, int_of_string_opt y) with
+                   | Some x, Some y ->
+                     (try
+                        Chip.add_port b ~x ~y ~name;
+                        process (lineno + 1) rest
+                      with Invalid_argument m -> error lineno m)
+                   | _, _ -> error lineno "usage: port X Y NAME")
+               | "port", _ -> error lineno "usage: port X Y NAME"
+               | "channel", points when List.length points >= 2 ->
+                 with_points points (fun pts -> Chip.add_channel b pts)
+               | "channel", _ -> error lineno "channel needs at least two points"
+               | "valve", [ a; c ] ->
+                 with_points [ a; c ] (fun pts ->
+                     match pts with
+                     | [ p; q ] -> Chip.add_valve b p q
+                     | _ -> invalid_arg "valve needs two points")
+               | "valve", _ -> error lineno "usage: valve X,Y X,Y"
+               | "dft", [ a; c ] ->
+                 with_points [ a; c ] (fun pts ->
+                     match pts with
+                     | [ p; q ] -> acc.dft <- (p, q) :: acc.dft
+                     | _ -> invalid_arg "dft needs two points")
+               | "dft", _ -> error lineno "usage: dft X,Y X,Y"
+               | "share", [ d; o ] -> (
+                   match (int_of_string_opt d, int_of_string_opt o) with
+                   | Some d, Some o ->
+                     acc.share <- (d, o) :: acc.share;
+                     process (lineno + 1) rest
+                   | _, _ -> error lineno "usage: share DFT_INDEX ORIG_INDEX")
+               | "share", _ -> error lineno "usage: share DFT_INDEX ORIG_INDEX"
+               | other, _ -> error lineno (Printf.sprintf "unknown directive %S" other))))
+  and finish () =
+    match acc.builder with
+    | None -> Error "empty description: missing chip header"
+    | Some b -> (
+        match Chip.finish b with
+        | Error m -> Error ("validation: " ^ m)
+        | Ok chip -> (
+            try
+              let chip =
+                if acc.dft = [] then chip
+                else begin
+                  let grid = Chip.grid chip in
+                  let edges =
+                    List.rev_map
+                      (fun (p, q) ->
+                        match Grid.edge_between_xy grid p q with
+                        | Some e -> e
+                        | None -> invalid_arg "dft points are not grid-adjacent")
+                      acc.dft
+                  in
+                  Chip.augment chip ~edges
+                end
+              in
+              let chip =
+                if acc.share = [] then chip
+                else begin
+                  let n_orig = Chip.n_original_valves chip in
+                  Chip.with_sharing chip
+                    (List.rev_map (fun (d, o) -> (n_orig + d, o)) acc.share)
+                end
+              in
+              Ok chip
+            with Invalid_argument m -> Error ("augmentation: " ^ m)))
+  in
+  process 1 (String.split_on_char '\n' text)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let to_string chip =
+  let buf = Buffer.create 512 in
+  let grid = Chip.grid chip in
+  let point n =
+    let x, y = Grid.coords grid n in
+    Printf.sprintf "%d,%d" x y
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "chip %s %d %d\n" (Chip.name chip) (Grid.width grid) (Grid.height grid));
+  Array.iter
+    (fun (d : Chip.device) ->
+      let x, y = Grid.coords grid d.node in
+      Buffer.add_string buf
+        (Printf.sprintf "device %s %d %d %s\n" (string_of_kind d.kind) x y d.name))
+    (Chip.devices chip);
+  Array.iter
+    (fun (p : Chip.port) ->
+      let x, y = Grid.coords grid p.node in
+      Buffer.add_string buf (Printf.sprintf "port %d %d %s\n" x y p.port_name))
+    (Chip.ports chip);
+  let g = Grid.graph grid in
+  let dft_edges = Chip.dft_edges chip in
+  let channels = Chip.channel_edges chip in
+  Mf_util.Bitset.iter
+    (fun e ->
+      if not (List.mem e dft_edges) then begin
+        let u, v = Graph.endpoints g e in
+        Buffer.add_string buf (Printf.sprintf "channel %s %s\n" (point u) (point v))
+      end)
+    channels;
+  (* original valves in valve-id order so ORIG_INDEX is stable *)
+  Array.iter
+    (fun (v : Chip.valve) ->
+      if not v.is_dft then begin
+        let u, w = Graph.endpoints g v.edge in
+        Buffer.add_string buf (Printf.sprintf "valve %s %s\n" (point u) (point w))
+      end)
+    (Chip.valves chip);
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      Buffer.add_string buf (Printf.sprintf "dft %s %s\n" (point u) (point v)))
+    dft_edges;
+  (* sharing: a DFT valve whose line coincides with an original valve's *)
+  Array.iter
+    (fun (v : Chip.valve) ->
+      if v.is_dft then begin
+        let partners = Chip.valves_of_control chip v.control in
+        match
+          List.find_opt (fun (w : Chip.valve) -> not w.is_dft) partners
+        with
+        | Some orig ->
+          Buffer.add_string buf
+            (Printf.sprintf "share %d %d\n"
+               (v.valve_id - Chip.n_original_valves chip)
+               orig.valve_id)
+        | None -> ()
+      end)
+    (Chip.valves chip);
+  Buffer.contents buf
+
+let save path chip = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string chip))

@@ -1,0 +1,30 @@
+(** Textual chip descriptions.
+
+    A small line-oriented format so users can define architectures in files
+    instead of OCaml (the CLI accepts them everywhere a chip is expected):
+
+    {v
+    # comment
+    chip NAME WIDTH HEIGHT
+    device mixer|detector|heater|filter X Y NAME
+    port X Y NAME
+    channel X,Y X,Y [X,Y ...]     # polyline of grid-adjacent points
+    valve X,Y X,Y                 # on an existing channel edge
+    dft X,Y X,Y                   # DFT augmentation edge (optional)
+    share DFT_INDEX ORIG_INDEX    # control sharing (optional); DFT_INDEX
+                                  # counts dft lines in order, ORIG_INDEX
+                                  # counts valve lines in order
+    v}
+
+    [to_string] round-trips: parsing its output reproduces the chip
+    (devices, ports, channels, valves, augmentation and sharing). *)
+
+val parse : string -> (Chip.t, string) result
+(** Parse a description.  Errors carry a line number and reason, including
+    the architecture validation errors of [Chip.finish]. *)
+
+val load : string -> (Chip.t, string) result
+(** [load path] reads and parses a file. *)
+
+val to_string : Chip.t -> string
+val save : string -> Chip.t -> unit

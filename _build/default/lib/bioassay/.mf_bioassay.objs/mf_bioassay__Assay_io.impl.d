@@ -1,0 +1,1 @@
+lib/bioassay/assay_io.ml: Array Buffer In_channel List Op Out_channel Printf Seqgraph String

@@ -1,0 +1,1 @@
+lib/bioassay/assay_io.mli: Seqgraph

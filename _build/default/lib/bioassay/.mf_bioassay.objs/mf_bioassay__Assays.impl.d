@@ -1,0 +1,1 @@
+lib/bioassay/assays.ml: Array List Op Printf Seqgraph

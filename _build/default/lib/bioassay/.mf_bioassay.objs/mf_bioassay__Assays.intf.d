@@ -1,0 +1,1 @@
+lib/bioassay/assays.mli: Seqgraph

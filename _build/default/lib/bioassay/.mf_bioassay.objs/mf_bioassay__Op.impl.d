@@ -1,0 +1,1 @@
+lib/bioassay/op.ml: Fmt

@@ -1,0 +1,1 @@
+lib/bioassay/op.mli: Format

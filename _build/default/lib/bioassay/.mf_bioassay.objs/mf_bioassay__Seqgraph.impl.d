@@ -1,0 +1,1 @@
+lib/bioassay/seqgraph.ml: Array Fmt Fun List Mf_util Op Queue

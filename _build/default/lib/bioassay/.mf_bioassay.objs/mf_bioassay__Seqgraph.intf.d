@@ -1,0 +1,1 @@
+lib/bioassay/seqgraph.mli: Format Op

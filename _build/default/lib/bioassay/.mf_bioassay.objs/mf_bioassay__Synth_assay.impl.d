@@ -1,0 +1,1 @@
+lib/bioassay/synth_assay.ml: Array Fun List Mf_util Op Printf Seqgraph

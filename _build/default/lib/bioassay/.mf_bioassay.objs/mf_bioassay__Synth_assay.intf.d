@@ -1,0 +1,1 @@
+lib/bioassay/synth_assay.mli: Mf_util Seqgraph

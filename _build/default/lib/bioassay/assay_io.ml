@@ -1,0 +1,83 @@
+let kind_of_string = function
+  | "mix" -> Some Op.Mix
+  | "detect" -> Some Op.Detect
+  | "heat" -> Some Op.Heat
+  | "filter" -> Some Op.Filter
+  | _ -> None
+
+let parse text =
+  let ops = ref [] in
+  let deps = ref [] in
+  let seen_header = ref false in
+  let error line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let rec process lineno = function
+    | [] ->
+      if not !seen_header then Error "empty description: missing assay header"
+      else begin
+        match Seqgraph.create (List.rev !ops) ~edges:(List.rev !deps) with
+        | Ok g -> Ok g
+        | Error m -> Error ("validation: " ^ m)
+      end
+    | raw :: rest -> (
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> process (lineno + 1) rest
+        | "assay" :: _ when !seen_header -> error lineno "duplicate assay header"
+        | [ "assay"; _name ] ->
+          seen_header := true;
+          process (lineno + 1) rest
+        | "assay" :: _ -> error lineno "usage: assay NAME"
+        | _ when not !seen_header -> error lineno "the first directive must be the assay header"
+        | [ "op"; id; kind; duration; name ] -> (
+            match (int_of_string_opt id, kind_of_string kind, int_of_string_opt duration) with
+            | Some op_id, Some kind, Some duration when duration > 0 ->
+              ops := { Op.op_id; kind; duration; op_name = name } :: !ops;
+              process (lineno + 1) rest
+            | _, _, _ -> error lineno "usage: op ID mix|detect|heat|filter DURATION NAME")
+        | "op" :: _ -> error lineno "usage: op ID KIND DURATION NAME"
+        | [ "dep"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b ->
+              deps := (a, b) :: !deps;
+              process (lineno + 1) rest
+            | _, _ -> error lineno "usage: dep FROM TO")
+        | "dep" :: _ -> error lineno "usage: dep FROM TO"
+        | other :: _ -> error lineno (Printf.sprintf "unknown directive %S" other))
+  in
+  process 1 (String.split_on_char '\n' text)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let string_of_kind = function
+  | Op.Mix -> "mix"
+  | Op.Detect -> "detect"
+  | Op.Heat -> "heat"
+  | Op.Filter -> "filter"
+
+let to_string g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "assay exported\n";
+  Array.iter
+    (fun (o : Op.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "op %d %s %d %s\n" o.op_id (string_of_kind o.kind) o.duration o.op_name))
+    (Seqgraph.ops g);
+  for j = 0 to Seqgraph.n_ops g - 1 do
+    List.iter
+      (fun p -> Buffer.add_string buf (Printf.sprintf "dep %d %d\n" p j))
+      (Seqgraph.preds g j)
+  done;
+  Buffer.contents buf
+
+let save path g =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string g))

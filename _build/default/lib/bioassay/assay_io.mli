@@ -1,0 +1,17 @@
+(** Textual sequencing-graph descriptions.
+
+    Line-oriented format accepted by the CLI wherever an assay is expected:
+
+    {v
+    # comment
+    assay NAME
+    op ID mix|detect|heat|filter DURATION NAME
+    dep FROM TO          # FROM's product feeds TO
+    v}
+
+    Operation ids must be dense 0..n-1.  [to_string] round-trips. *)
+
+val parse : string -> (Seqgraph.t, string) result
+val load : string -> (Seqgraph.t, string) result
+val to_string : Seqgraph.t -> string
+val save : string -> Seqgraph.t -> unit

@@ -1,0 +1,81 @@
+(* Assay construction uses a tiny accumulator so op ids stay dense and the
+   edge list stays in sync with the textual structure below. *)
+type builder = { mutable rev_ops : Op.t list; mutable rev_edges : (int * int) list; mutable next : int }
+
+let fresh () = { rev_ops = []; rev_edges = []; next = 0 }
+
+let add b kind duration op_name deps =
+  let op_id = b.next in
+  b.next <- op_id + 1;
+  b.rev_ops <- { Op.op_id; kind; duration; op_name } :: b.rev_ops;
+  List.iter (fun d -> b.rev_edges <- (d, op_id) :: b.rev_edges) deps;
+  op_id
+
+let build b = Seqgraph.create_exn (List.rev b.rev_ops) ~edges:(List.rev b.rev_edges)
+
+(* IVD: 2 samples x 3 reagents; each pairing is an independent mix -> detect
+   chain.  6 + 6 = 12 ops. *)
+let ivd () =
+  let b = fresh () in
+  for s = 0 to 1 do
+    for r = 0 to 2 do
+      let tag = Printf.sprintf "s%dr%d" s r in
+      let m = add b Op.Mix 60 ("mix_" ^ tag) [] in
+      ignore (add b Op.Detect 45 ("det_" ^ tag) [ m ])
+    done
+  done;
+  build b
+
+(* PID: two parallel serial-dilution chains of 8 mixes each, joined by three
+   interpolation mixes at the junction; every product is detected.
+   16 + 3 mixes, 19 detects = 38 ops.  Fan-out is bounded by 3 so the
+   intermediate products fit the chips' distributed storage. *)
+let pid () =
+  let b = fresh () in
+  let chain tag =
+    let ids = Array.make 8 0 in
+    for i = 0 to 7 do
+      let deps = if i = 0 then [] else [ ids.(i - 1) ] in
+      ids.(i) <- add b Op.Mix 70 (Printf.sprintf "dil_%s%d" tag i) deps
+    done;
+    ids
+  in
+  let a = chain "a" in
+  let c = chain "b" in
+  let i0 = add b Op.Mix 70 "interp0" [ a.(7); c.(7) ] in
+  let i1 = add b Op.Mix 70 "interp1" [ a.(7); i0 ] in
+  let i2 = add b Op.Mix 70 "interp2" [ c.(7); i0 ] in
+  let detect m = ignore (add b Op.Detect 40 (Printf.sprintf "det%d" m) [ m ]) in
+  Array.iter detect a;
+  Array.iter detect c;
+  List.iter detect [ i0; i1; i2 ];
+  build b
+
+(* CPA: 5 samples; per sample a 3-level serial dilution, three reagent
+   mixes (one per dilution level) and five optical detections.
+   5 * (6 mixes + 5 detects) = 55 ops. *)
+let cpa () =
+  let b = fresh () in
+  for s = 0 to 4 do
+    let tag i = Printf.sprintf "s%d_%s" s i in
+    let m1 = add b Op.Mix 60 (tag "dil1") [] in
+    let m2 = add b Op.Mix 60 (tag "dil2") [ m1 ] in
+    let m3 = add b Op.Mix 60 (tag "dil3") [ m2 ] in
+    let r1 = add b Op.Mix 60 (tag "reag1") [ m1 ] in
+    let r2 = add b Op.Mix 60 (tag "reag2") [ m2 ] in
+    let r3 = add b Op.Mix 60 (tag "reag3") [ m3 ] in
+    ignore (add b Op.Detect 50 (tag "det_r1") [ r1 ]);
+    ignore (add b Op.Detect 50 (tag "det_r2") [ r2 ]);
+    ignore (add b Op.Detect 50 (tag "det_r3") [ r3 ]);
+    ignore (add b Op.Detect 50 (tag "det_d3") [ m3 ]);
+    ignore (add b Op.Detect 50 (tag "det_d1") [ m1 ])
+  done;
+  build b
+
+let by_name = function
+  | "ivd" -> Some (ivd ())
+  | "pid" -> Some (pid ())
+  | "cpa" -> Some (cpa ())
+  | _ -> None
+
+let names = [ "ivd"; "pid"; "cpa" ]

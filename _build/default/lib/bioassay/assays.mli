@@ -1,0 +1,27 @@
+(** The three real-world assays used in the paper's evaluation (Table 1).
+
+    The paper gives only operation counts (IVD 12, PID 38, CPA 55); the
+    dependency structures here follow the shapes known from the microfluidic
+    synthesis literature and reproduce those counts exactly:
+
+    - {b IVD} (in-vitro diagnostics): independent sample × reagent
+      mix→detect chains — wide and shallow.
+    - {b PID} (protein interpolation dilution): a serial dilution chain with
+      interpolation mixes between consecutive dilution levels — deep, with a
+      long critical path.
+    - {b CPA} (colorimetric protein assay): per-sample serial dilutions,
+      reagent mixes and many optical detections — detector-bound. *)
+
+val ivd : unit -> Seqgraph.t
+(** 12 operations: 6 mixes, 6 detections. *)
+
+val pid : unit -> Seqgraph.t
+(** 38 operations: 19 mixes, 19 detections. *)
+
+val cpa : unit -> Seqgraph.t
+(** 55 operations: 30 mixes, 25 detections. *)
+
+val by_name : string -> Seqgraph.t option
+(** Lookup by lowercase name: ["ivd"], ["pid"], ["cpa"]. *)
+
+val names : string list

@@ -1,0 +1,7 @@
+type kind = Mix | Detect | Heat | Filter
+
+type t = { op_id : int; kind : kind; duration : int; op_name : string }
+
+let kind_name = function Mix -> "mix" | Detect -> "detect" | Heat -> "heat" | Filter -> "filter"
+
+let pp ppf t = Fmt.pf ppf "%s#%d(%s,%ds)" t.op_name t.op_id (kind_name t.kind) t.duration

@@ -1,0 +1,10 @@
+(** Operations of a biochemical application (nodes of a sequencing graph,
+    Fig. 2).  The [kind] selects which device class can execute the
+    operation; [duration] is in schedule ticks (1 tick = 1 s). *)
+
+type kind = Mix | Detect | Heat | Filter
+
+type t = { op_id : int; kind : kind; duration : int; op_name : string }
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit

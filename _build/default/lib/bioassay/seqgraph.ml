@@ -1,0 +1,99 @@
+type t = { ops : Op.t array; preds : int list array; succs : int list array }
+
+let n_ops t = Array.length t.ops
+let op t i = t.ops.(i)
+let ops t = t.ops
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+let create op_list ~edges =
+  let ops = Array.of_list op_list in
+  let n = Array.length ops in
+  let ok_ids = Array.to_list ops |> List.mapi (fun i (o : Op.t) -> o.op_id = i) |> List.for_all Fun.id in
+  if not ok_ids then Error "op ids must be dense 0..n-1 in list order"
+  else begin
+    let preds = Array.make n [] in
+    let succs = Array.make n [] in
+    let bad =
+      List.exists (fun (i, j) -> i < 0 || j < 0 || i >= n || j >= n || i = j) edges
+    in
+    if bad then Error "edge endpoint out of range"
+    else begin
+      List.iter
+        (fun (i, j) ->
+          preds.(j) <- preds.(j) @ [ i ];
+          succs.(i) <- succs.(i) @ [ j ])
+        edges;
+      (* acyclicity by Kahn's algorithm *)
+      let indeg = Array.map List.length preds in
+      let queue = Queue.create () in
+      Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+      let visited = ref 0 in
+      while not (Queue.is_empty queue) do
+        let i = Queue.pop queue in
+        incr visited;
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then Queue.add j queue)
+          succs.(i)
+      done;
+      if !visited <> n then Error "sequencing graph has a cycle" else Ok { ops; preds; succs }
+    end
+  end
+
+let create_exn op_list ~edges =
+  match create op_list ~edges with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Seqgraph.create: " ^ msg)
+
+let roots t =
+  Array.to_list t.ops
+  |> List.filter_map (fun (o : Op.t) -> if t.preds.(o.op_id) = [] then Some o.op_id else None)
+
+let sinks t =
+  Array.to_list t.ops
+  |> List.filter_map (fun (o : Op.t) -> if t.succs.(o.op_id) = [] then Some o.op_id else None)
+
+let topological t =
+  let n = n_ops t in
+  let indeg = Array.map List.length t.preds in
+  let module H = Mf_util.Heap in
+  let heap = H.create () in
+  Array.iteri (fun i d -> if d = 0 then H.push heap (float_of_int i) i) indeg;
+  let order = ref [] in
+  let rec drain () =
+    match H.pop heap with
+    | None -> ()
+    | Some (_, i) ->
+      order := i :: !order;
+      List.iter
+        (fun j ->
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then H.push heap (float_of_int j) j)
+        t.succs.(i);
+      drain ()
+  in
+  drain ();
+  assert (List.length !order = n);
+  List.rev !order
+
+let depth t =
+  let n = n_ops t in
+  let memo = Array.make n 0 in
+  List.iter
+    (fun i ->
+      let longest = List.fold_left (fun acc p -> max acc memo.(p)) 0 t.preds.(i) in
+      memo.(i) <- longest + 1)
+    (topological t);
+  Array.fold_left max 0 memo
+
+let total_work t = Array.fold_left (fun acc (o : Op.t) -> acc + o.duration) 0 t.ops
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>sequencing graph: %d ops, depth %d, work %ds" (n_ops t) (depth t) (total_work t);
+  Array.iter
+    (fun (o : Op.t) ->
+      Fmt.pf ppf "@,  %a <- %a" Op.pp o Fmt.(list ~sep:comma int) t.preds.(o.op_id))
+    t.ops;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,33 @@
+(** Sequencing graphs G = (O, E): a DAG of operations where an edge
+    [(i, j)] means operation [j] consumes the fluid produced by operation
+    [i] (Fig. 2). *)
+
+type t
+
+val create : Op.t list -> edges:(int * int) list -> (t, string) result
+(** Validates: dense distinct op ids, edge endpoints exist, graph acyclic. *)
+
+val create_exn : Op.t list -> edges:(int * int) list -> t
+
+val n_ops : t -> int
+val op : t -> int -> Op.t
+val ops : t -> Op.t array
+val preds : t -> int -> int list
+(** Operations whose results feed op [i], in edge insertion order. *)
+
+val succs : t -> int -> int list
+val roots : t -> int list
+(** Operations with no predecessor (consume fresh reagents). *)
+
+val sinks : t -> int list
+val topological : t -> int list
+(** A topological order (stable: ties by op id). *)
+
+val depth : t -> int
+(** Length (in ops) of the longest dependency chain — a lower bound
+    intuition for the makespan. *)
+
+val total_work : t -> int
+(** Sum of all durations. *)
+
+val pp : Format.formatter -> t -> unit

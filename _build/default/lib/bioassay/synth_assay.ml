@@ -1,0 +1,87 @@
+module Rng = Mf_util.Rng
+
+type spec = {
+  n_ops : int;
+  detect_share : float;
+  max_fanout : int;
+  mix_duration : int;
+  detect_duration : int;
+}
+
+let default_spec =
+  { n_ops = 20; detect_share = 0.4; max_fanout = 2; mix_duration = 50; detect_duration = 40 }
+
+let generate ?(spec = default_spec) rng =
+  if spec.n_ops < 2 then invalid_arg "Synth_assay.generate: need at least two ops";
+  if spec.detect_share <= 0. || spec.detect_share >= 1. then
+    invalid_arg "Synth_assay.generate: detect_share must be in (0,1)";
+  if spec.max_fanout < 1 then invalid_arg "Synth_assay.generate: max_fanout must be >= 1";
+  let n_detect = max 1 (int_of_float (float_of_int spec.n_ops *. spec.detect_share)) in
+  let n_mix = spec.n_ops - n_detect in
+  if n_mix < 1 then invalid_arg "Synth_assay.generate: detect_share leaves no mixes";
+  (* ids: mixes 0..n_mix-1 in topological order, detects after *)
+  let ops =
+    List.init spec.n_ops (fun op_id ->
+        if op_id < n_mix then
+          { Op.op_id; kind = Op.Mix; duration = spec.mix_duration;
+            op_name = Printf.sprintf "mix%d" op_id }
+        else
+          { Op.op_id; kind = Op.Detect; duration = spec.detect_duration;
+            op_name = Printf.sprintf "det%d" (op_id - n_mix) })
+  in
+  let fanout = Array.make spec.n_ops 0 in
+  let edges = ref [] in
+  let connect a b =
+    edges := (a, b) :: !edges;
+    fanout.(a) <- fanout.(a) + 1
+  in
+  (* mixes: each non-root mix consumes one or two earlier products with free
+     fan-out capacity *)
+  for m = 1 to n_mix - 1 do
+    if Rng.uniform rng < 0.8 then begin
+      let candidates =
+        List.init m Fun.id |> List.filter (fun p -> fanout.(p) < spec.max_fanout)
+      in
+      match candidates with
+      | [] -> () (* root: fresh reagents *)
+      | cs ->
+        let a = Rng.pick_list rng cs in
+        connect a m;
+        if Rng.bool rng then begin
+          match List.filter (fun p -> p <> a && fanout.(p) < spec.max_fanout) cs with
+          | [] -> ()
+          | cs' -> connect (Rng.pick_list rng cs') m
+        end
+    end
+  done;
+  (* detects: observe mixes, preferring unobserved products *)
+  let observed = Array.make n_mix false in
+  for d = n_mix to spec.n_ops - 1 do
+    let unobserved =
+      List.init n_mix Fun.id
+      |> List.filter (fun m -> (not observed.(m)) && fanout.(m) < spec.max_fanout)
+    in
+    let target =
+      match unobserved with
+      | [] -> (
+          match List.init n_mix Fun.id |> List.filter (fun m -> fanout.(m) < spec.max_fanout) with
+          | [] -> Rng.int rng n_mix (* overflow fan-out as a last resort *)
+          | cs -> Rng.pick_list rng cs)
+      | cs -> Rng.pick_list rng cs
+    in
+    observed.(target) <- true;
+    connect target d
+  done;
+  (* no orphaned mix products: attach leftover sinks to later mixes or spill
+     into already-connected detects *)
+  for m = 0 to n_mix - 1 do
+    if fanout.(m) = 0 then begin
+      let laters = List.init (n_mix - m - 1) (fun i -> m + 1 + i) in
+      match laters with
+      | consumer :: _ -> connect m consumer
+      | [] ->
+        (* last mix: ensure some detect observes it *)
+        connect m (n_mix + Rng.int rng n_detect)
+    end
+  done;
+  Seqgraph.create_exn ops ~edges:(List.sort_uniq compare !edges)

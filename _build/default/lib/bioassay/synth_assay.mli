@@ -1,0 +1,24 @@
+(** Random bioassay generator for stress tests and scaling studies.
+
+    Produces layered sequencing graphs in the shape family of the bundled
+    assays: chains of mixes with bounded fan-out, a configurable share of
+    detections, every product eventually observed. *)
+
+type spec = {
+  n_ops : int;  (** total operations, >= 2 *)
+  detect_share : float;  (** fraction of detect ops, in (0, 1) *)
+  max_fanout : int;  (** successors per op, >= 1 (keep <= 3 for bounded-storage chips) *)
+  mix_duration : int;
+  detect_duration : int;
+}
+
+val default_spec : spec
+(** 20 ops, 40% detects, fan-out <= 2, mix 50 s, detect 40 s. *)
+
+val generate : ?spec:spec -> Mf_util.Rng.t -> Seqgraph.t
+(** A random DAG honouring [spec]:
+    - exactly [spec.n_ops] operations;
+    - mixes first (they produce intermediates), detects depend on mixes;
+    - every mix has at least one successor (no orphaned product), bounded
+      by [max_fanout];
+    - acyclic by construction (edges point to higher layers). *)

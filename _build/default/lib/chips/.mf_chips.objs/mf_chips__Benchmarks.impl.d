@@ -1,0 +1,1 @@
+lib/chips/benchmarks.ml: List Mf_arch

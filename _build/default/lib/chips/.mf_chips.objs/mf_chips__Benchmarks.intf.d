@@ -1,0 +1,1 @@
+lib/chips/benchmarks.mli: Mf_arch

@@ -1,0 +1,1 @@
+lib/chips/synth.ml: Array Hashtbl List Mf_arch Mf_util Option Printf

@@ -1,0 +1,1 @@
+lib/chips/synth.mli: Mf_arch Mf_util

@@ -1,0 +1,169 @@
+module Chip = Mf_arch.Chip
+
+(* Layout conventions shared by all three chips:
+   - devices and ports sit on spurs off a transport ring, so a busy device
+     never blocks through-traffic;
+   - every spur edge carries a valve (device isolation / port entry);
+   - storage pockets are two-edge chains off the ring: a valved connector
+     followed by an unvalved pocket edge, so a parked fluid occupies only
+     off-artery nodes and is enclosed by valves;
+   - ring valves are placed so that no stuck-at-0 on a ring edge can be
+     masked by an all-unvalved parallel arc. *)
+
+(* IVD_chip: 3 mixers, 2 detectors, 12 valves, 4 ports on a 5x5 grid.
+   8-edge ring through (1,1)-(3,1)-(3,3)-(1,3); five device spurs; storage
+   pocket (0,3)-(0,4) behind the valved connector (1,3)-(0,3). *)
+let ivd_chip () =
+  let b = Chip.builder ~name:"IVD_chip" ~width:5 ~height:5 in
+  Chip.add_device b ~kind:Chip.Mixer ~x:2 ~y:0 ~name:"M0";
+  Chip.add_device b ~kind:Chip.Mixer ~x:4 ~y:1 ~name:"M1";
+  Chip.add_device b ~kind:Chip.Mixer ~x:2 ~y:4 ~name:"M2";
+  Chip.add_device b ~kind:Chip.Detector ~x:4 ~y:3 ~name:"D0";
+  Chip.add_device b ~kind:Chip.Detector ~x:0 ~y:1 ~name:"D1";
+  Chip.add_port b ~x:0 ~y:2 ~name:"P0";
+  Chip.add_port b ~x:4 ~y:2 ~name:"P1";
+  Chip.add_port b ~x:3 ~y:0 ~name:"P2";
+  Chip.add_port b ~x:3 ~y:4 ~name:"P3";
+  (* ring *)
+  Chip.add_channel b [ (1, 1); (2, 1); (3, 1); (3, 2); (3, 3); (2, 3); (1, 3); (1, 2); (1, 1) ];
+  (* device spurs *)
+  Chip.add_channel b [ (2, 1); (2, 0) ];
+  Chip.add_channel b [ (3, 1); (4, 1) ];
+  Chip.add_channel b [ (2, 3); (2, 4) ];
+  Chip.add_channel b [ (3, 3); (4, 3) ];
+  Chip.add_channel b [ (1, 1); (0, 1) ];
+  (* port spurs *)
+  Chip.add_channel b [ (0, 2); (1, 2) ];
+  Chip.add_channel b [ (3, 2); (4, 2) ];
+  Chip.add_channel b [ (3, 0); (3, 1) ];
+  Chip.add_channel b [ (3, 4); (3, 3) ];
+  (* storage pocket: valved connector, then the pocket edge *)
+  Chip.add_channel b [ (1, 3); (0, 3); (0, 4) ];
+  (* 12 valves: 4 port entries + 7 ring (all but (3,2)-(3,3)) + the pocket
+     connector.  Device spurs and the pocket edge are unvalved dead ends:
+     they cannot form parallel shortcuts, so stuck-at-1 coverage of every
+     valve stays achievable. *)
+  Chip.add_valve b (0, 2) (1, 2);
+  Chip.add_valve b (3, 2) (4, 2);
+  Chip.add_valve b (3, 0) (3, 1);
+  Chip.add_valve b (3, 4) (3, 3);
+  Chip.add_valve b (1, 1) (2, 1);
+  Chip.add_valve b (2, 1) (3, 1);
+  Chip.add_valve b (3, 1) (3, 2);
+  Chip.add_valve b (3, 3) (2, 3);
+  Chip.add_valve b (2, 3) (1, 3);
+  Chip.add_valve b (1, 3) (1, 2);
+  Chip.add_valve b (1, 2) (1, 1);
+  Chip.add_valve b (1, 3) (0, 3);
+  Chip.finish_exn b
+
+(* RA30_chip: 2 mixers, 3 detectors, 16 valves, 4 ports on a 7x5 grid.
+   12-edge ring through (1,1)-(5,1)-(5,3)-(1,3); five device spurs; two
+   storage pockets: (3,2)-(2,2) behind connector (3,1)-(3,2), and
+   (6,1)-(6,0) behind connector (5,1)-(6,1). *)
+let ra30_chip () =
+  let b = Chip.builder ~name:"RA30_chip" ~width:7 ~height:5 in
+  Chip.add_device b ~kind:Chip.Mixer ~x:2 ~y:0 ~name:"M0";
+  Chip.add_device b ~kind:Chip.Mixer ~x:4 ~y:0 ~name:"M1";
+  Chip.add_device b ~kind:Chip.Detector ~x:2 ~y:4 ~name:"D0";
+  Chip.add_device b ~kind:Chip.Detector ~x:4 ~y:4 ~name:"D1";
+  Chip.add_device b ~kind:Chip.Detector ~x:1 ~y:0 ~name:"D2";
+  Chip.add_port b ~x:0 ~y:2 ~name:"P0";
+  Chip.add_port b ~x:6 ~y:2 ~name:"P1";
+  Chip.add_port b ~x:3 ~y:0 ~name:"P2";
+  Chip.add_port b ~x:3 ~y:4 ~name:"P3";
+  (* ring *)
+  Chip.add_channel b
+    [ (1, 1); (2, 1); (3, 1); (4, 1); (5, 1); (5, 2); (5, 3); (4, 3); (3, 3); (2, 3); (1, 3);
+      (1, 2); (1, 1) ];
+  (* device spurs *)
+  Chip.add_channel b [ (2, 1); (2, 0) ];
+  Chip.add_channel b [ (4, 1); (4, 0) ];
+  Chip.add_channel b [ (2, 3); (2, 4) ];
+  Chip.add_channel b [ (4, 3); (4, 4) ];
+  Chip.add_channel b [ (1, 1); (1, 0) ];
+  (* port spurs *)
+  Chip.add_channel b [ (0, 2); (1, 2) ];
+  Chip.add_channel b [ (6, 2); (5, 2) ];
+  Chip.add_channel b [ (3, 0); (3, 1) ];
+  Chip.add_channel b [ (3, 4); (3, 3) ];
+  (* storage pockets *)
+  Chip.add_channel b [ (3, 1); (3, 2); (2, 2) ];
+  Chip.add_channel b [ (5, 1); (6, 1); (6, 0) ];
+  (* 16 valves: 4 ports + 10 ring + 2 pocket connectors.  The two unvalved
+     ring edges, (5,2)-(5,3) and (1,3)-(1,2), touch no unvalved spur, so DFT
+     additions cannot complete an uncloseable bypass cycle through them.
+     Device spurs and pocket edges stay unvalved (dead ends). *)
+  Chip.add_valve b (0, 2) (1, 2);
+  Chip.add_valve b (6, 2) (5, 2);
+  Chip.add_valve b (3, 0) (3, 1);
+  Chip.add_valve b (3, 4) (3, 3);
+  Chip.add_valve b (1, 1) (2, 1);
+  Chip.add_valve b (2, 1) (3, 1);
+  Chip.add_valve b (3, 1) (4, 1);
+  Chip.add_valve b (4, 1) (5, 1);
+  Chip.add_valve b (5, 1) (5, 2);
+  Chip.add_valve b (5, 3) (4, 3);
+  Chip.add_valve b (4, 3) (3, 3);
+  Chip.add_valve b (3, 3) (2, 3);
+  Chip.add_valve b (2, 3) (1, 3);
+  Chip.add_valve b (1, 2) (1, 1);
+  Chip.add_valve b (3, 1) (3, 2);
+  Chip.add_valve b (5, 1) (6, 1);
+  Chip.finish_exn b
+
+(* mRNA_chip: 3 mixers, 1 detector, 28 valves, 3 ports on an 8x6 grid.
+   16-edge outer ring with two column crossbars; four device spurs; two
+   interior storage pockets: (3,2)-(3,3) behind connector (2,2)-(3,2) and
+   (4,3)-(4,2) behind connector (5,3)-(4,3). *)
+let mrna_chip () =
+  let b = Chip.builder ~name:"mRNA_chip" ~width:8 ~height:6 in
+  Chip.add_device b ~kind:Chip.Mixer ~x:1 ~y:0 ~name:"M0";
+  Chip.add_device b ~kind:Chip.Mixer ~x:4 ~y:0 ~name:"M1";
+  Chip.add_device b ~kind:Chip.Mixer ~x:1 ~y:5 ~name:"M2";
+  Chip.add_device b ~kind:Chip.Detector ~x:6 ~y:5 ~name:"D0";
+  Chip.add_port b ~x:0 ~y:2 ~name:"P0";
+  Chip.add_port b ~x:7 ~y:3 ~name:"P1";
+  Chip.add_port b ~x:3 ~y:5 ~name:"P2";
+  (* outer ring *)
+  Chip.add_channel b
+    [ (1, 1); (2, 1); (3, 1); (4, 1); (5, 1); (6, 1); (6, 2); (6, 3); (6, 4); (5, 4); (4, 4);
+      (3, 4); (2, 4); (1, 4); (1, 3); (1, 2); (1, 1) ];
+  (* column crossbars *)
+  Chip.add_channel b [ (2, 1); (2, 2); (2, 3); (2, 4) ];
+  Chip.add_channel b [ (5, 1); (5, 2); (5, 3); (5, 4) ];
+  (* device spurs *)
+  Chip.add_channel b [ (1, 1); (1, 0) ];
+  Chip.add_channel b [ (4, 1); (4, 0) ];
+  Chip.add_channel b [ (1, 4); (1, 5) ];
+  Chip.add_channel b [ (6, 4); (6, 5) ];
+  (* port spurs *)
+  Chip.add_channel b [ (0, 2); (1, 2) ];
+  Chip.add_channel b [ (7, 3); (6, 3) ];
+  Chip.add_channel b [ (3, 5); (3, 4) ];
+  (* storage pockets *)
+  Chip.add_channel b [ (2, 2); (3, 2); (3, 3) ];
+  Chip.add_channel b [ (5, 3); (4, 3); (4, 2) ];
+  (* 28 valves: all edges except the two pocket edges and three device
+     spurs (M0, M1, M2 — unvalved dead ends) *)
+  let valved =
+    [ ((1, 1), (2, 1)); ((2, 1), (3, 1)); ((3, 1), (4, 1)); ((4, 1), (5, 1)); ((5, 1), (6, 1));
+      ((6, 1), (6, 2)); ((6, 2), (6, 3)); ((6, 3), (6, 4));
+      ((6, 4), (5, 4)); ((5, 4), (4, 4)); ((4, 4), (3, 4)); ((3, 4), (2, 4)); ((2, 4), (1, 4));
+      ((1, 4), (1, 3)); ((1, 3), (1, 2)); ((1, 2), (1, 1));
+      ((2, 1), (2, 2)); ((2, 2), (2, 3)); ((2, 3), (2, 4));
+      ((5, 1), (5, 2)); ((5, 2), (5, 3)); ((5, 3), (5, 4));
+      ((6, 4), (6, 5));
+      ((0, 2), (1, 2)); ((7, 3), (6, 3)); ((3, 5), (3, 4));
+      ((2, 2), (3, 2)); ((5, 3), (4, 3)) ]
+  in
+  List.iter (fun (a, c) -> Chip.add_valve b a c) valved;
+  Chip.finish_exn b
+
+let by_name = function
+  | "ivd_chip" -> Some (ivd_chip ())
+  | "ra30_chip" -> Some (ra30_chip ())
+  | "mrna_chip" -> Some (mrna_chip ())
+  | _ -> None
+
+let names = [ "ivd_chip"; "ra30_chip"; "mrna_chip" ]

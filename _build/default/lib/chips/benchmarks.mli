@@ -1,0 +1,24 @@
+(** The three biochips of the paper's evaluation (Table 1).
+
+    The authors use the IVD and RA30 chips from [6] and the mRNA chip from
+    [21]; since those layouts are not published, these are connection-grid
+    embeddings with exactly the published resource counts:
+
+    - {b IVD_chip}: 3 mixers, 2 detectors, 12 valves (4 ports, 6×5 grid);
+    - {b RA30_chip}: 2 mixers, 3 detectors, 16 valves (4 ports, 7×5 grid);
+    - {b mRNA_chip}: 3 mixers, 1 detector, 28 valves (3 ports, 8×6 grid).
+
+    Each chip is a ring/mesh transport network with port spurs, valves at
+    port entries and device boundaries, and one or two valve-enclosed
+    channel pockets usable as distributed storage.  Every layout passes
+    [Chip.finish]'s testability validation (closing all valves separates
+    every port pair). *)
+
+val ivd_chip : unit -> Mf_arch.Chip.t
+val ra30_chip : unit -> Mf_arch.Chip.t
+val mrna_chip : unit -> Mf_arch.Chip.t
+
+val by_name : string -> Mf_arch.Chip.t option
+(** ["ivd_chip" | "ra30_chip" | "mrna_chip"], case-sensitive. *)
+
+val names : string list

@@ -1,0 +1,95 @@
+module Chip = Mf_arch.Chip
+module Rng = Mf_util.Rng
+
+type spec = { mixers : int; detectors : int; heaters : int; ports : int; pockets : int }
+
+let default_spec = { mixers = 2; detectors = 2; heaters = 0; ports = 3; pockets = 2 }
+
+type attachment = Device of Chip.device_kind | Port | Pocket
+
+(* Ring nodes are hosted on the rectangle (1,1)..(rw,rh); each attachment
+   occupies a non-corner perimeter node and sticks outward, so node degrees
+   stay within the grid's four neighbours and attachments never collide. *)
+let generate ?(spec = default_spec) rng =
+  if spec.mixers < 1 || spec.detectors < 1 then
+    invalid_arg "Synth.generate: need at least one mixer and one detector";
+  if spec.ports < 2 then invalid_arg "Synth.generate: need at least two ports";
+  if spec.pockets < 0 || spec.heaters < 0 then invalid_arg "Synth.generate: negative counts";
+  let attachments =
+    List.concat
+      [
+        List.init spec.mixers (fun _ -> Device Chip.Mixer);
+        List.init spec.detectors (fun _ -> Device Chip.Detector);
+        List.init spec.heaters (fun _ -> Device Chip.Heater);
+        List.init spec.ports (fun _ -> Port);
+        List.init spec.pockets (fun _ -> Pocket);
+      ]
+  in
+  let n_att = List.length attachments in
+  (* non-corner perimeter nodes: 2(rw-2) + 2(rh-2); we use every second slot *)
+  let rw = max 4 (((n_att + 4) / 2) + 1) in
+  let rh = max 4 (n_att + 5 - rw) in
+  let b = Chip.builder ~name:"synthetic" ~width:(rw + 2) ~height:(rh + 2) in
+  (* clockwise perimeter walk with outward directions; corners excluded *)
+  let slots =
+    List.concat
+      [
+        List.init (rw - 2) (fun i -> ((2 + i, 1), (0, -1), (1, 0)));
+        List.init (rh - 2) (fun i -> ((rw, 2 + i), (1, 0), (0, 1)));
+        List.init (rw - 2) (fun i -> ((rw - 1 - i, rh), (0, 1), (-1, 0)));
+        List.init (rh - 2) (fun i -> ((1, rh - 1 - i), (-1, 0), (0, -1)));
+      ]
+  in
+  (* every second slot so outward cells never collide *)
+  let spaced = List.filteri (fun i _ -> i mod 2 = 0) slots in
+  if List.length spaced < n_att then invalid_arg "Synth.generate: spec too large for ring";
+  let order = Array.of_list spaced in
+  Rng.shuffle rng order;
+  let shuffled = Array.of_list attachments in
+  Rng.shuffle rng shuffled;
+  (* ring channel *)
+  let ring_path =
+    List.init (rw - 1) (fun i -> (1 + i, 1))
+    @ List.init (rh - 1) (fun i -> (rw, 1 + i))
+    @ List.init (rw - 1) (fun i -> (rw - i, rh))
+    @ List.init (rh - 1) (fun i -> (1, rh - i))
+    @ [ (1, 1) ]
+  in
+  Chip.add_channel b ring_path;
+  (* ring valves everywhere: cuts are always constructible *)
+  let rec valve_along = function
+    | a :: (c :: _ as rest) ->
+      Chip.add_valve b a c;
+      valve_along rest
+    | [ _ ] | [] -> ()
+  in
+  valve_along ring_path;
+  let counters = Hashtbl.create 4 in
+  let fresh prefix =
+    let n = Option.value ~default:0 (Hashtbl.find_opt counters prefix) in
+    Hashtbl.replace counters prefix (n + 1);
+    Printf.sprintf "%s%d" prefix n
+  in
+  Array.iteri
+    (fun i att ->
+      let (hx, hy), (ox, oy), (px, py) = order.(i) in
+      let out = (hx + ox, hy + oy) in
+      match att with
+      | Device kind ->
+        let name =
+          fresh (match kind with Chip.Mixer -> "M" | Chip.Detector -> "D" | Chip.Heater -> "H" | Chip.Filter -> "F")
+        in
+        Chip.add_device b ~kind ~x:(fst out) ~y:(snd out) ~name;
+        Chip.add_channel b [ (hx, hy); out ]
+        (* device spurs stay unvalved dead ends *)
+      | Port ->
+        Chip.add_port b ~x:(fst out) ~y:(snd out) ~name:(fresh "P");
+        Chip.add_channel b [ (hx, hy); out ];
+        Chip.add_valve b (hx, hy) out
+      | Pocket ->
+        (* valved connector + unvalved pocket edge, parallel to the ring *)
+        let pocket_end = (fst out + px, snd out + py) in
+        Chip.add_channel b [ (hx, hy); out; pocket_end ];
+        Chip.add_valve b (hx, hy) out)
+    shuffled;
+  Chip.finish_exn b

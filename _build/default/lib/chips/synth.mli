@@ -1,0 +1,26 @@
+(** Synthetic biochip generator.
+
+    Produces random-but-valid chips in the same architecture family as the
+    benchmarks — a valved transport ring with device spurs, port spurs and
+    valve-enclosed storage pockets — for robustness testing and scaling
+    studies.  Every generated chip passes [Chip.finish]'s testability
+    validation by construction, and the generator follows the layout rules
+    recorded in DESIGN.md §5.8 (port entries valved, spurs as dead ends,
+    pockets off the ring). *)
+
+type spec = {
+  mixers : int;  (** >= 1 *)
+  detectors : int;  (** >= 1 *)
+  heaters : int;
+  ports : int;  (** >= 2 *)
+  pockets : int;  (** storage pockets (best effort: may place fewer) *)
+}
+
+val default_spec : spec
+(** 2 mixers, 2 detectors, 0 heaters, 3 ports, 2 pockets. *)
+
+val generate : ?spec:spec -> Mf_util.Rng.t -> Mf_arch.Chip.t
+(** [generate rng] builds a fresh random chip.  The ring size scales with
+    the number of attachments; placement choices (which ring node hosts
+    which spur) are drawn from [rng].  Raises [Invalid_argument] on specs
+    that cannot fit (e.g. more attachments than ring nodes). *)

@@ -1,0 +1,1 @@
+lib/control/control.ml: Array Fmt Fun Hashtbl List Mf_arch Mf_graph Mf_grid Mf_util Option

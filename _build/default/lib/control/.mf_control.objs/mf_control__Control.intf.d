@@ -1,0 +1,1 @@
+lib/control/control.mli: Format Mf_arch Mf_graph

@@ -1,0 +1,259 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+module Bitset = Mf_util.Bitset
+
+type route = {
+  line : int;
+  port_node : int;
+  tree_edges : int list;
+  taps : (int * int) list;
+}
+
+type t = { routes : route list; unrouted : int list; layer_graph : Graph.t }
+
+(* The control layer shares the chip's grid but is its own routing plane:
+   control channels may run over flow structures (they are a layer above)
+   but not over each other, so routed trees claim their nodes. *)
+
+let boundary_nodes grid =
+  let w = Grid.width grid and h = Grid.height grid in
+  let nodes = ref [] in
+  for x = 0 to w - 1 do
+    nodes := Grid.node grid ~x ~y:0 :: Grid.node grid ~x ~y:(h - 1) :: !nodes
+  done;
+  for y = 1 to h - 2 do
+    nodes := Grid.node grid ~x:0 ~y :: Grid.node grid ~x:(w - 1) ~y :: !nodes
+  done;
+  List.sort_uniq compare !nodes
+
+(* Grow a tree over free control-layer nodes that connects all [targets]
+   (valve tap nodes) and reaches one boundary node.  Prim-style: start from
+   the first target, repeatedly attach the nearest remaining target by a
+   cheapest path over free nodes (tree nodes are free for this line).
+
+   Control channels cannot cross, so a tree slicing through the middle of
+   the chip strands everything it separates.  Routing is therefore
+   weighted: interior detours cost more than rim-hugging ones, keeping the
+   centre open for later lines. *)
+let route_line g grid ~claimed ~targets =
+  match targets with
+  | [] -> None
+  | first :: rest ->
+    begin
+      let w = Grid.width grid and h = Grid.height grid in
+      let centrality n =
+        let x, y = Grid.coords grid n in
+        min (min x y) (min (w - 1 - x) (h - 1 - y))
+      in
+      let tree_nodes = Bitset.create (Graph.n_nodes g) in
+      Bitset.add tree_nodes first;
+      let tree_edges = ref [] in
+      let mine n = List.mem n targets in
+      let free n = (not (Bitset.mem claimed n)) || Bitset.mem tree_nodes n || mine n in
+      let edge_ok e =
+        let u, v = Graph.endpoints g e in
+        free u && free v
+      in
+      let edge_cost e =
+        let u, v = Graph.endpoints g e in
+        1. +. (0.35 *. float_of_int (min (centrality u) (centrality v)))
+      in
+      (* multi-source Dijkstra from the current tree to a set of goals *)
+      let connect goals =
+        let n_nodes = Graph.n_nodes g in
+        let parent_edge = Array.make n_nodes (-1) in
+        let parent_node = Array.make n_nodes (-1) in
+        let dist = Array.make n_nodes infinity in
+        let settled = Bitset.create n_nodes in
+        let heap = Mf_util.Heap.create () in
+        Bitset.iter
+          (fun n ->
+            dist.(n) <- 0.;
+            Mf_util.Heap.push heap 0. n)
+          tree_nodes;
+        let found = ref None in
+        let rec drain () =
+          match Mf_util.Heap.pop heap with
+          | None -> ()
+          | Some (d, u) ->
+            if not (Bitset.mem settled u) then begin
+              Bitset.add settled u;
+              if List.mem u goals && not (Bitset.mem tree_nodes u) then found := Some u
+              else
+                List.iter
+                  (fun (e, v) ->
+                    if edge_ok e && not (Bitset.mem settled v) then begin
+                      let cand = d +. edge_cost e in
+                      if cand < dist.(v) then begin
+                        dist.(v) <- cand;
+                        parent_edge.(v) <- e;
+                        parent_node.(v) <- u;
+                        Mf_util.Heap.push heap cand v
+                      end
+                    end)
+                  (Graph.incident g u)
+            end;
+            if !found = None then drain ()
+        in
+        drain ();
+        match !found with
+        | None ->
+          (* a goal may already be inside the tree *)
+          (match List.find_opt (fun n -> Bitset.mem tree_nodes n) goals with
+           | Some n -> Some n
+           | None -> None)
+        | Some goal ->
+          let rec unwind n =
+            if Bitset.mem tree_nodes n then ()
+            else begin
+              Bitset.add tree_nodes n;
+              tree_edges := parent_edge.(n) :: !tree_edges;
+              unwind parent_node.(n)
+            end
+          in
+          unwind goal;
+          Some goal
+      in
+      let ok_targets = List.for_all (fun t -> connect [ t ] <> None) rest in
+      if not ok_targets then None
+      else begin
+        let boundary = List.filter (fun n -> free n) (boundary_nodes grid) in
+        match connect boundary with
+        | None -> None
+        | Some port -> Some (port, !tree_edges, tree_nodes)
+      end
+    end
+
+let synthesize_once ~attempt chip =
+  let flow_grid = Chip.grid chip in
+  let flow_g = Grid.graph flow_grid in
+  (* the control layer is fabricated at a finer pitch: route on a 6x
+     refined grid, where every flow-layer valve (an edge midpoint) gets its
+     own tap node with clear corridors around it *)
+  let grid =
+    Grid.create
+      ~width:((6 * (Grid.width flow_grid - 1)) + 1)
+      ~height:((6 * (Grid.height flow_grid - 1)) + 1)
+  in
+  let g = Grid.graph grid in
+  let claimed = Bitset.create (Graph.n_nodes g) in
+  let tap (v : Chip.valve) =
+    let a, b = Graph.endpoints flow_g v.edge in
+    let ax, ay = Grid.coords flow_grid a and bx, by = Grid.coords flow_grid b in
+    Grid.node grid ~x:(3 * (ax + bx)) ~y:(3 * (ay + by))
+  in
+  let lines = List.init (Chip.n_controls chip) Fun.id in
+  let with_valves =
+    List.map (fun line -> (line, Chip.valves_of_control chip line)) lines
+    |> List.filter (fun (_, vs) -> vs <> [])
+  in
+  (* reserve every tap node up front so no tree runs over a foreign tap *)
+  List.iter
+    (fun (_, valves) -> List.iter (fun v -> Bitset.add claimed (tap v)) valves)
+    with_valves;
+  (* many-valve (shared) lines route first: they are the most constrained;
+     ties are permuted per attempt so congestion failures can be retried *)
+  let rng = Mf_util.Rng.create ~seed:(1009 * (attempt + 1)) in
+  let jitter = Array.init (List.length with_valves) (fun _ -> Mf_util.Rng.int rng 1_000_000) in
+  let ordered =
+    List.mapi (fun i lv -> (i, lv)) with_valves
+    |> List.sort (fun (i, (_, a)) (j, (_, b)) ->
+        let key idx vs = (-List.length vs, if attempt = 0 then idx else jitter.(idx)) in
+        compare (key i a) (key j b))
+    |> List.map snd
+  in
+  let routes = ref [] in
+  let unrouted = ref [] in
+  List.iter
+    (fun (line, valves) ->
+      let targets = List.sort_uniq compare (List.map tap valves) in
+      match route_line g grid ~claimed ~targets with
+      | None -> unrouted := line :: !unrouted
+      | Some (port, tree_edges, tree_nodes) ->
+        Bitset.iter (fun n -> Bitset.add claimed n) tree_nodes;
+        routes :=
+          {
+            line;
+            port_node = port;
+            tree_edges;
+            taps = List.map (fun (v : Chip.valve) -> (v.valve_id, tap v)) valves;
+          }
+          :: !routes)
+    ordered;
+  { routes = List.rev !routes; unrouted = List.sort compare !unrouted; layer_graph = g }
+
+(* Sequential routing is order-sensitive; retry a few permutations and keep
+   the most complete layout. *)
+let synthesize chip =
+  let rec go attempt best =
+    if attempt >= 6 then best
+    else begin
+      let layout = synthesize_once ~attempt chip in
+      if layout.unrouted = [] then layout
+      else begin
+        let better =
+          match best.unrouted with
+          | [] -> best
+          | current -> if List.length layout.unrouted < List.length current then layout else best
+        in
+        go (attempt + 1) better
+      end
+    end
+  in
+  let first = synthesize_once ~attempt:0 chip in
+  if first.unrouted = [] then first else go 1 first
+
+let total_length t =
+  List.fold_left (fun acc r -> acc + List.length r.tree_edges) 0 t.routes
+
+let n_ports t = List.length t.routes
+
+(* Delay along the unique tree path from the control port to the tap. *)
+let path_length_in_tree g route ~to_node =
+  let member = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace member e ()) route.tree_edges;
+  let allowed e = Hashtbl.mem member e in
+  let dist = Traverse.bfs_dist g ~allowed ~src:route.port_node in
+  if to_node = route.port_node then Some 0
+  else if dist.(to_node) = max_int then None
+  else Some dist.(to_node)
+
+let delay_of ~alpha ~beta g route tap_node =
+  Option.map (fun len -> (alpha *. float_of_int len) +. beta) (path_length_in_tree g route ~to_node:tap_node)
+
+let find_route t ~valve =
+  List.find_opt (fun r -> List.mem_assoc valve r.taps) t.routes
+
+let actuation_delay ?(alpha = 1.0) ?(beta = 2.0) t ~valve =
+  match find_route t ~valve with
+  | None -> None
+  | Some route ->
+    let tap_node = List.assoc valve route.taps in
+    delay_of ~alpha ~beta t.layer_graph route tap_node
+
+let skew ?(alpha = 1.0) ?(beta = 2.0) t ~line =
+  match List.find_opt (fun r -> r.line = line) t.routes with
+  | None -> None
+  | Some route ->
+    let delays =
+      List.filter_map
+        (fun (_, tap_node) -> delay_of ~alpha ~beta t.layer_graph route tap_node)
+        route.taps
+    in
+    (match delays with
+     | [] -> None
+     | d :: rest ->
+       let mn = List.fold_left min d rest and mx = List.fold_left max d rest in
+       Some (mx -. mn))
+
+let max_skew ?(alpha = 1.0) ?(beta = 2.0) t =
+  List.fold_left
+    (fun acc r -> match skew ~alpha ~beta t ~line:r.line with Some s -> max acc s | None -> acc)
+    0. t.routes
+
+let pp ppf t =
+  Fmt.pf ppf "control layer: %d ports, total length %d%s" (n_ports t) (total_length t)
+    (if t.unrouted = [] then ""
+     else Fmt.str ", UNROUTED lines %a" Fmt.(list ~sep:comma int) t.unrouted)

@@ -1,0 +1,59 @@
+(** Control-layer synthesis.
+
+    Above the flow layer, every control line is a physical channel running
+    from a control port at the chip boundary to the valve(s) it drives
+    ([12], [14]).  Valve sharing (Sec. 4) is exactly the statement that a
+    DFT valve taps an {e existing} control channel instead of needing a new
+    boundary port — this module makes that concrete by routing the control
+    layer and reporting its cost:
+
+    - one control port per control line, placed on the boundary;
+    - control channels as node-disjoint trees on the control-layer grid
+      (channels may cross the flow layer, which is below, but not each
+      other);
+    - per-valve {e actuation delay} proportional to the channel length from
+      the port ([12]'s pressure-propagation model), and per-line {e skew} —
+      the spread of delays among valves sharing the line, the quantity
+      length-matching ([14]) minimises. *)
+
+type route = {
+  line : int;  (** control line id *)
+  port_node : int;  (** boundary grid node hosting the control port *)
+  tree_edges : int list;  (** control-layer grid edges of the channel tree *)
+  taps : (int * int) list;  (** (valve id, flow-layer tap node) *)
+}
+
+type t = {
+  routes : route list;
+  unrouted : int list;  (** control lines the router could not connect *)
+  layer_graph : Mf_graph.Graph.t;
+      (** the grid graph the trees are embedded in (edge ids of
+          [tree_edges] refer to it) *)
+}
+
+val synthesize : Mf_arch.Chip.t -> t
+(** Route every control line of the chip.  Deterministic; lines with more
+    valves route first.  Lines that cannot be connected (congestion) end in
+    [unrouted] — on the bundled chips this does not happen. *)
+
+val total_length : t -> int
+(** Summed control-channel length (grid edges), the manufacturing cost. *)
+
+val n_ports : t -> int
+(** Number of control ports = number of routed lines.  With valve sharing
+    this stays at the original chip's count — the paper's headline claim. *)
+
+val actuation_delay : ?alpha:float -> ?beta:float -> t -> valve:int -> float option
+(** Delay for one valve: [alpha * path_length + beta] along its line's tree
+    from the control port ([12]); [None] when the valve's line is unrouted.
+    Defaults: alpha = 1.0, beta = 2.0 (arbitrary units). *)
+
+val skew : ?alpha:float -> ?beta:float -> t -> line:int -> float option
+(** Spread (max - min) of actuation delays among the valves of one line;
+    0 for unshared lines, the length-matching objective of [14] for shared
+    ones. *)
+
+val max_skew : ?alpha:float -> ?beta:float -> t -> float
+(** Worst skew over all routed lines. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/mfdft.ml: Codesign Pool Report Sharing

@@ -1,0 +1,1 @@
+lib/core/codesign.ml: Array Fun Hashtbl List Mf_arch Mf_faults Mf_pso Mf_sched Mf_testgen Mf_util Option Pool Sharing Unix

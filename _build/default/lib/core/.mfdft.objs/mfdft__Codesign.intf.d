@@ -1,0 +1,1 @@
+lib/core/codesign.mli: Mf_arch Mf_bioassay Mf_pso Mf_sched Mf_testgen Pool Sharing Stdlib

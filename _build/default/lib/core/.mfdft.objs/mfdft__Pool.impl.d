@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Fun Hashtbl List Mf_arch Mf_grid Mf_testgen Mf_util Option String

@@ -1,0 +1,1 @@
+lib/core/pool.mli: Mf_arch Mf_testgen Mf_util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Codesign Format List Mf_arch Mf_control Mf_grid Mf_testgen Out_channel Printf

@@ -1,0 +1,1 @@
+lib/core/sharing.ml: Array Fmt List Mf_arch Mf_util

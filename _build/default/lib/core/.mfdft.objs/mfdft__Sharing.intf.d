@@ -1,0 +1,1 @@
+lib/core/sharing.mli: Format Mf_arch Mf_util

@@ -1,0 +1,260 @@
+module Chip = Mf_arch.Chip
+module Rng = Mf_util.Rng
+module Pso = Mf_pso.Pso
+module Scheduler = Mf_sched.Scheduler
+module Vectors = Mf_testgen.Vectors
+module Pathgen = Mf_testgen.Pathgen
+
+type params = {
+  pool_size : int;
+  outer : Pso.params;
+  inner : Pso.params;
+  seed : int;
+  scheduler : Scheduler.options;
+  ilp_node_limit : int;
+}
+
+let default_params =
+  {
+    pool_size = 8;
+    outer = { Pso.default_params with particles = 5; iterations = 100 };
+    inner = { Pso.default_params with particles = 5; iterations = 12 };
+    seed = 42;
+    scheduler = Scheduler.default_options;
+    ilp_node_limit = 4_000;
+  }
+
+let quick_params =
+  {
+    default_params with
+    pool_size = 4;
+    outer = { Pso.default_params with particles = 5; iterations = 8 };
+    inner = { Pso.default_params with particles = 5; iterations = 6 };
+    ilp_node_limit = 2_000;
+  }
+
+type result = {
+  original : Chip.t;
+  augmented : Chip.t;
+  shared : Chip.t;
+  config : Pathgen.config;
+  sharing : Sharing.t;
+  suite : Vectors.t;
+  exec_original : int option;
+  exec_dft_unshared : int option;
+  exec_dft_no_pso : int option;
+  exec_final : int option;
+  n_dft_valves : int;
+  n_shared : int;
+  n_vectors_dft : int;
+  trace : float list;
+  evaluations : int;
+  runtime : float;
+}
+
+(* A sharing scheme is testable if the configuration's suite still covers
+   every fault on the re-wired chip, or can be repaired to (the paper
+   regenerates vectors per sharing scheme; {!Mf_testgen.Repair} adds the
+   vectors a scheme needs).  [Untestable n] carries the number of faults
+   that still escape, so the PSO can climb towards validity. *)
+type verdict =
+  | Testable of Chip.t * Vectors.t
+  | Untestable of int
+
+let testable_suite (entry : Pool.entry) scheme =
+  let shared = Sharing.apply entry.Pool.augmented scheme in
+  let suite = entry.Pool.suite in
+  if Vectors.is_valid shared suite then Testable (shared, suite)
+  else begin
+    let repaired = Mf_testgen.Repair.run shared suite in
+    let report = Vectors.validate shared repaired in
+    if Mf_faults.Coverage.complete report then Testable (shared, repaired)
+    else
+      Untestable
+        (report.Mf_faults.Coverage.total_faults - report.Mf_faults.Coverage.detected
+        + report.Mf_faults.Coverage.malformed)
+  end
+
+(* Any fitness at or above this is an invalid scheme; below it, the fitness
+   is the application makespan in seconds. *)
+let invalid_threshold = 1e5
+
+(* Fitness shaping: schemes whose test program cannot be completed are
+   penalised by how many faults escape; schemes that deadlock the
+   application rank between those and valid ones.  Memoised per
+   (entry, scheme). *)
+let sharing_fitness cache params app (entry : Pool.entry) scheme =
+  let key = (entry.Pool.config.Pathgen.added_edges, scheme) in
+  match Hashtbl.find_opt cache key with
+  | Some fit -> fit
+  | None ->
+    let fit =
+      match testable_suite entry scheme with
+      | Untestable misses -> (100. *. invalid_threshold) +. (1000. *. float_of_int misses)
+      | Testable (shared, _suite) ->
+        (match Scheduler.makespan ~options:params.scheduler shared app with
+         | Some makespan -> float_of_int makespan
+         | None -> 10. *. invalid_threshold)
+    in
+    Hashtbl.add cache key fit;
+    fit
+
+(* Per-valve partner feasibility: original valves whose control line a DFT
+   valve can share without breaking testability {e on its own}.  Pair
+   interactions remain (the PSO's job), but decoding into these sets puts
+   the swarm in a mostly-valid region instead of a ~0% one.  Cached on the
+   pool entry: the sets depend only on the chip, so every application
+   evaluated against this configuration reuses them. *)
+let allowed_partners (entry : Pool.entry) =
+  match entry.Pool.partners with
+  | Some allowed -> allowed
+  | None ->
+    let aug = entry.Pool.augmented in
+    let n_orig = Chip.n_original_valves aug in
+    let dft_ids =
+      Array.to_list (Chip.valves aug)
+      |> List.filter_map (fun (v : Chip.valve) -> if v.is_dft then Some v.valve_id else None)
+    in
+    let allowed =
+      List.map
+        (fun d ->
+          let feasible =
+            List.init n_orig Fun.id
+            |> List.filter (fun o ->
+                match testable_suite entry [ (d, o) ] with
+                | Testable _ -> true
+                | Untestable _ -> false)
+          in
+          let options = if feasible = [] then List.init n_orig Fun.id else feasible in
+          (d, Array.of_list options))
+        dft_ids
+    in
+    entry.Pool.partners <- Some allowed;
+    allowed
+
+let decode_constrained allowed position =
+  List.mapi
+    (fun i (d, options) ->
+      let x = if i < Array.length position then position.(i) else 0. in
+      let n = Array.length options in
+      let idx = min (n - 1) (max 0 (int_of_float (x *. float_of_int n))) in
+      (d, options.(idx)))
+    allowed
+
+let random_constrained rng allowed =
+  List.map (fun (d, options) -> (d, options.(Rng.int rng (Array.length options)))) allowed
+
+let run ?(params = default_params) ?pool chip app =
+  let started = Unix.gettimeofday () in
+  let rng = Rng.create ~seed:params.seed in
+  let evaluations = ref 0 in
+  let pool =
+    match pool with
+    | Some pool ->
+      (* consume the stream the builder would have used, so results with a
+         pre-built pool match results without one *)
+      ignore (Rng.split rng);
+      Ok pool
+    | None ->
+      Pool.build ~size:params.pool_size ~node_limit:params.ilp_node_limit ~rng:(Rng.split rng)
+        chip
+  in
+  match pool with
+  | Error msg -> Error msg
+  | Ok pool ->
+    let cache = Hashtbl.create 64 in
+    let fitness_of entry scheme =
+      incr evaluations;
+      sharing_fitness cache params app entry scheme
+    in
+    (* inner PSO: best sharing scheme for a fixed configuration, searching
+       inside the per-valve feasible partner sets *)
+    let best_sharing entry =
+      let allowed = allowed_partners entry in
+      let dim = List.length allowed in
+      if dim = 0 then ([], fitness_of entry [])
+      else begin
+        let inner_rng = Rng.split rng in
+        let outcome =
+          Pso.run ~params:params.inner ~rng:inner_rng ~dim
+            ~fitness:(fun position -> fitness_of entry (decode_constrained allowed position))
+            ()
+        in
+        (decode_constrained allowed outcome.Pso.best_position, outcome.Pso.best_fitness)
+      end
+    in
+    (* outer PSO over edge preferences *)
+    let outer_dim = max 1 (Array.length (Pool.free_edges pool)) in
+    let outer_rng = Rng.split rng in
+    let best_entry = ref None in
+    let outer_fitness position =
+      let entry = Pool.decode pool position in
+      let scheme, fit = best_sharing entry in
+      (match !best_entry with
+       | Some (_, _, best) when best <= fit -> ()
+       | Some _ | None -> best_entry := Some (entry, scheme, fit));
+      fit
+    in
+    let outcome = Pso.run ~params:params.outer ~rng:outer_rng ~dim:outer_dim ~fitness:outer_fitness () in
+    (match !best_entry with
+     | None -> Error "two-level PSO produced no evaluation"
+     | Some (entry, scheme, best_fit) ->
+       let augmented = entry.Pool.augmented in
+       let shared, suite =
+         match testable_suite entry scheme with
+         | Testable (shared, suite) -> (shared, suite)
+         | Untestable _ -> (Sharing.apply augmented scheme, entry.Pool.suite)
+       in
+       (* Table 1 baseline: the first valid random sharing, no PSO — random
+          search over the same feasible partner sets the swarm uses *)
+       let no_pso_rng = Rng.create ~seed:(params.seed + 1) in
+       let allowed = allowed_partners entry in
+       let rec first_valid attempts =
+         if attempts = 0 then None
+         else begin
+           let s = random_constrained no_pso_rng allowed in
+           let fit = sharing_fitness cache params app entry s in
+           if fit < invalid_threshold then Some (int_of_float fit)
+           else first_valid (attempts - 1)
+         end
+       in
+       (* when random search misses, fall back to the worst valid scheme the
+          search ever evaluated: still a scheme found without optimisation
+          pressure *)
+       let worst_cached_valid () =
+         Hashtbl.fold
+           (fun _ fit acc ->
+             if fit < invalid_threshold then
+               match acc with Some w when w >= fit -> acc | Some _ | None -> Some fit
+             else acc)
+           cache None
+         |> Option.map int_of_float
+       in
+       let exec_dft_no_pso =
+         match first_valid 100 with Some t -> Some t | None -> worst_cached_valid ()
+       in
+       (* Fig. 7 baseline: DFT resources with independent control lines *)
+       let exec_dft_unshared = Scheduler.makespan ~options:params.scheduler augmented app in
+       let exec_original = Scheduler.makespan ~options:params.scheduler chip app in
+       let exec_final =
+         if best_fit < invalid_threshold then Some (int_of_float best_fit) else None
+       in
+       Ok
+         {
+           original = chip;
+           augmented;
+           shared;
+           config = entry.Pool.config;
+           sharing = scheme;
+           suite;
+           exec_original;
+           exec_dft_unshared;
+           exec_dft_no_pso;
+           exec_final;
+           n_dft_valves = List.length entry.Pool.config.Pathgen.added_edges;
+           n_shared = Sharing.n_shared scheme;
+           n_vectors_dft = Vectors.count suite;
+           trace = outcome.Pso.trace;
+           evaluations = !evaluations;
+           runtime = Unix.gettimeofday () -. started;
+         })

@@ -1,0 +1,68 @@
+(** The paper's end-to-end flow (Sec. 4.2): two-level particle swarm
+    optimization over DFT configurations (outer) and valve-sharing schemes
+    (inner), scored by the application execution time on the augmented
+    chip.
+
+    Per outer particle evaluation: decode the particle's edge-preference
+    position into a feasible DFT configuration (ILP-repaired, via
+    {!Pool}), run a sub-PSO over sharing assignments, validate each sharing
+    scheme against the full test-vector suite by fault simulation
+    (invalid → ∞), schedule the application on the shared chip, and return
+    the best execution time found.  The outer trace is the Fig. 9
+    convergence curve. *)
+
+type params = {
+  pool_size : int;  (** DFT configurations materialised by the ILP *)
+  outer : Mf_pso.Pso.params;
+  inner : Mf_pso.Pso.params;
+  seed : int;
+  scheduler : Mf_sched.Scheduler.options;
+  ilp_node_limit : int;
+}
+
+val default_params : params
+(** Paper-scale: 5 outer and 5 inner particles, 100 outer iterations
+    (Fig. 9), 12 inner iterations per outer evaluation. *)
+
+val quick_params : params
+(** Reduced budget for CI and the default bench run: 8 outer iterations,
+    6 inner; same swarm sizes. *)
+
+type result = {
+  original : Mf_arch.Chip.t;
+  augmented : Mf_arch.Chip.t;  (** best configuration applied *)
+  shared : Mf_arch.Chip.t;  (** with the best sharing scheme's control rewiring *)
+  config : Mf_testgen.Pathgen.config;
+  sharing : Sharing.t;
+  suite : Mf_testgen.Vectors.t;
+  exec_original : int option;  (** makespan on the unmodified chip *)
+  exec_dft_unshared : int option;  (** DFT resources, independent control (Fig. 7) *)
+  exec_dft_no_pso : int option;  (** first valid random sharing (Table 1) *)
+  exec_final : int option;  (** after two-level PSO (Table 1) *)
+  n_dft_valves : int;
+  n_shared : int;
+  n_vectors_dft : int;  (** single-source single-meter vector count (Fig. 8) *)
+  trace : float list;
+      (** outer global-best per iteration (Fig. 9).  Values below
+          {!invalid_threshold} are application execution times in seconds;
+          values at or above it are shaped penalties of invalid schemes
+          (render as "no valid scheme yet"). *)
+  evaluations : int;  (** schedule/validation calls *)
+  runtime : float;  (** wall-clock seconds of the whole flow *)
+}
+
+val invalid_threshold : float
+(** Fitness values at or above this constant denote sharing schemes that
+    failed validation (graded by how many faults escape) or deadlocked the
+    application; values below it are plain makespans. *)
+
+val run :
+  ?params:params ->
+  ?pool:Pool.t ->
+  Mf_arch.Chip.t ->
+  Mf_bioassay.Seqgraph.t ->
+  (result, string) Stdlib.result
+(** [run chip app] executes the whole flow.  [pool] short-circuits the ILP
+    configuration-pool construction — pools depend only on the chip, so
+    callers evaluating several applications on one chip (Table 1) build the
+    pool once.  Results are deterministic in [params.seed]. *)

@@ -1,0 +1,30 @@
+(** mfdft — design-for-testability for continuous-flow microfluidic
+    biochips.
+
+    Reproduction of Liu, Li, Ho, Chakrabarty, Schlichtmann,
+    "Design-for-Testability for Continuous-Flow Microfluidic Biochips",
+    DAC 2018.
+
+    Quick start:
+    {[
+      let chip = Mf_chips.Benchmarks.ivd_chip () in
+      let app = Mf_bioassay.Assays.ivd () in
+      match Mfdft.Codesign.run chip app with
+      | Ok r -> Format.printf "exec time with DFT: %a@." Fmt.(option int) r.exec_final
+      | Error msg -> prerr_endline msg
+    ]}
+
+    Layering (see DESIGN.md):
+    - {!Sharing} — valve-sharing schemes (Sec. 4.1);
+    - {!Pool} — ILP-materialised DFT configuration space (Sec. 3);
+    - {!Codesign} — the two-level PSO flow (Sec. 4.2).
+
+    The substrates live in sibling libraries: [Mf_arch.Chip] (chip model),
+    [Mf_testgen] (ILP test-path and cut generation), [Mf_faults] (fault
+    simulation), [Mf_sched] (application scheduling), [Mf_pso], [Mf_lp],
+    [Mf_ilp] (solvers), [Mf_chips] and [Mf_bioassay] (benchmarks). *)
+
+module Sharing = Sharing
+module Pool = Pool
+module Codesign = Codesign
+module Report = Report

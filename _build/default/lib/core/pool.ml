@@ -1,0 +1,95 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Bitset = Mf_util.Bitset
+module Rng = Mf_util.Rng
+module Pathgen = Mf_testgen.Pathgen
+module Cutgen = Mf_testgen.Cutgen
+module Vectors = Mf_testgen.Vectors
+
+type entry = {
+  config : Pathgen.config;
+  augmented : Chip.t;
+  suite : Vectors.t;
+  mutable partners : (int * int array) list option;
+}
+
+type t = { entries : entry array; free_edges : int array }
+
+let entries t = t.entries
+let size t = Array.length t.entries
+
+let free_edges t = t.free_edges
+
+let materialise chip (config : Pathgen.config) =
+  let augmented = Pathgen.apply chip config in
+  let cuts = Cutgen.generate augmented ~source:config.src_port ~meter:config.dst_port in
+  let suite = Vectors.of_config config cuts in
+  let suite =
+    if Vectors.is_valid augmented suite then suite
+    else Mf_testgen.Repair.run augmented suite
+  in
+  if Vectors.is_valid augmented suite then Some { config; augmented; suite; partners = None }
+  else None
+
+let build ?(size = 8) ?(node_limit = 20_000) ~rng chip =
+  let n_edges = Grid.n_edges (Chip.grid chip) in
+  let channels = Chip.channel_edges chip in
+  let free =
+    Array.of_list
+      (List.filter (fun e -> not (Bitset.mem channels e)) (List.init n_edges Fun.id))
+  in
+  let seen = Hashtbl.create 8 in
+  let pool = ref [] in
+  for attempt = 0 to size - 1 do
+    let weights =
+      if attempt = 0 then fun _ -> 1. (* the unperturbed optimum first *)
+      else begin
+        let noise = Array.init n_edges (fun _ -> 1. +. Rng.uniform rng) in
+        fun e -> noise.(e)
+      end
+    in
+    match Pathgen.generate ~weights ~node_limit chip with
+    | Error _ -> ()
+    | Ok config ->
+      let key = String.concat "," (List.map string_of_int config.added_edges) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        match materialise chip config with
+        | Some entry -> pool := entry :: !pool
+        | None -> ()
+      end
+  done;
+  match List.rev !pool with
+  | [] -> Error "no valid DFT configuration found"
+  | entries -> Ok { entries = Array.of_list entries; free_edges = free }
+
+let decode t position =
+  let pref = Hashtbl.create 32 in
+  Array.iteri
+    (fun i e ->
+      let x = if i < Array.length position then position.(i) else 0.5 in
+      Hashtbl.replace pref e x)
+    t.free_edges;
+  let score entry =
+    let added = entry.config.Pathgen.added_edges in
+    let total =
+      List.fold_left
+        (fun acc e -> acc +. Option.value ~default:0.5 (Hashtbl.find_opt pref e))
+        0. added
+    in
+    (* average preference of the edges this configuration would add, with a
+       mild penalty on configuration size *)
+    let n = float_of_int (max 1 (List.length added)) in
+    (total /. n) -. (0.01 *. n)
+  in
+  let best = ref t.entries.(0) in
+  let best_score = ref (score t.entries.(0)) in
+  Array.iter
+    (fun entry ->
+      let s = score entry in
+      if s > !best_score then begin
+        best_score := s;
+        best := entry
+      end)
+    t.entries;
+  !best

@@ -1,0 +1,45 @@
+(** Pool of alternative DFT configurations.
+
+    Problem (5)–(6) usually has many optima and near-optima; the outer PSO
+    of Sec. 4.2 explores them.  Re-solving the ILP inside every particle
+    update would repeat identical work, so the pool materialises a diverse
+    set of configurations up front by re-solving with randomly perturbed
+    edge weights; the outer particle position (a preference weight per free
+    grid edge) then selects the pool member it agrees with most.  This is
+    the repair-based decoding matching step (1) of the paper's PSO loop:
+    every decoded position is a feasible single-source single-meter
+    architecture produced by the ILP. *)
+
+type entry = {
+  config : Mf_testgen.Pathgen.config;
+  augmented : Mf_arch.Chip.t;
+  suite : Mf_testgen.Vectors.t;  (** paths + cuts, validated pre-sharing *)
+  mutable partners : (int * int array) list option;
+      (** per-DFT-valve feasible sharing partners, computed lazily by
+          [Codesign] and cached here so several applications on the same
+          chip share the work *)
+}
+
+type t
+
+val build :
+  ?size:int ->
+  ?node_limit:int ->
+  rng:Mf_util.Rng.t ->
+  Mf_arch.Chip.t ->
+  (t, string) result
+(** [build ~rng chip] solves the path ILP [size] times (default 8) with
+    weights drawn from [\[1, 2)], deduplicates by added-edge set, drops any
+    configuration whose vector suite fails pre-sharing fault simulation,
+    and returns the pool (error if every attempt fails). *)
+
+val entries : t -> entry array
+val size : t -> int
+
+val free_edges : t -> int array
+(** Grid edges unoccupied in the original chip — the outer PSO dimensions. *)
+
+val decode : t -> float array -> entry
+(** [decode pool position] scores each entry by the summed preference of
+    its added edges (position is indexed like {!free_edges}) and returns
+    the best-scoring entry; ties break toward fewer added edges. *)

@@ -1,0 +1,10 @@
+(** Human-readable reports of a codesign run: a Markdown document with the
+    architecture before/after, the sharing scheme, the test program, the
+    control-layer cost and the execution-time comparison. *)
+
+val markdown : ?title:string -> Codesign.result -> string
+(** Render the full report.  Pure; does not re-run anything except the
+    (fast) control-layer synthesis for the final architectures. *)
+
+val save : string -> Codesign.result -> unit
+(** Write [markdown] to a file. *)

@@ -1,0 +1,31 @@
+module Chip = Mf_arch.Chip
+module Rng = Mf_util.Rng
+
+type t = (int * int) list
+
+let dft_valves chip =
+  Array.to_list (Chip.valves chip) |> List.filter (fun (v : Chip.valve) -> v.is_dft)
+
+let dimensions chip = List.length (dft_valves chip)
+
+let decode chip position =
+  let n_orig = Chip.n_original_valves chip in
+  if n_orig = 0 then []
+  else
+    dft_valves chip
+    |> List.mapi (fun i (v : Chip.valve) ->
+        let x = if i < Array.length position then position.(i) else 0. in
+        let target = int_of_float (x *. float_of_int n_orig) in
+        (v.valve_id, min (n_orig - 1) (max 0 target)))
+
+let apply chip t = Chip.with_sharing chip t
+
+let n_shared t = List.length t
+
+let random rng chip =
+  let n_orig = Chip.n_original_valves chip in
+  if n_orig = 0 then []
+  else dft_valves chip |> List.map (fun (v : Chip.valve) -> (v.valve_id, Rng.int rng n_orig))
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:comma (pair ~sep:(any "->") int int)) t

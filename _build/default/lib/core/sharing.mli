@@ -1,0 +1,26 @@
+(** Valve-sharing schemes (Sec. 4): which original valve each DFT valve
+    borrows its control line from, so the augmented chip needs no new
+    control ports. *)
+
+type t = (int * int) list
+(** [(dft_valve_id, original_valve_id)] pairs; DFT valves absent from the
+    list keep a private control line. *)
+
+val decode : Mf_arch.Chip.t -> float array -> t
+(** [decode chip position] maps a PSO position (one dimension per DFT
+    valve, each in [0,1]) to a full assignment: dimension [i] selects
+    original valve [floor (x_i * n_original)]. *)
+
+val dimensions : Mf_arch.Chip.t -> int
+(** Number of DFT valves = PSO dimensionality of the sharing space. *)
+
+val apply : Mf_arch.Chip.t -> t -> Mf_arch.Chip.t
+(** Rewire control lines ({!Mf_arch.Chip.with_sharing}). *)
+
+val n_shared : t -> int
+
+val random : Mf_util.Rng.t -> Mf_arch.Chip.t -> t
+(** A uniformly random full assignment (used for the "DFT without PSO"
+    baseline of Table 1). *)
+
+val pp : Format.formatter -> t -> unit

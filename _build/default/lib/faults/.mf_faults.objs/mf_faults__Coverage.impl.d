@@ -1,0 +1,1 @@
+lib/faults/coverage.ml: Fault Fmt List Mf_arch Pressure

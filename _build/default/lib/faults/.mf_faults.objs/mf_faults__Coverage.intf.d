@@ -1,0 +1,1 @@
+lib/faults/coverage.mli: Format Mf_arch Vector

@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Array Fmt List Mf_arch Mf_grid Mf_util Stdlib

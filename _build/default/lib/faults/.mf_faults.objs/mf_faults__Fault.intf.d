@@ -1,0 +1,1 @@
+lib/faults/fault.mli: Format Mf_arch

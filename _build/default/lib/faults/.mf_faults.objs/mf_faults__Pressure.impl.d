@@ -1,0 +1,1 @@
+lib/faults/pressure.ml: Array Fault List Mf_arch Mf_graph Mf_grid Mf_util Vector

@@ -1,0 +1,1 @@
+lib/faults/pressure.mli: Fault Mf_arch Mf_util Vector

@@ -1,0 +1,1 @@
+lib/faults/vector.ml: Array Fmt List Mf_arch Mf_util Printf

@@ -1,0 +1,1 @@
+lib/faults/vector.mli: Format Mf_arch Mf_util

@@ -1,0 +1,49 @@
+module Chip = Mf_arch.Chip
+
+type report = {
+  total_faults : int;
+  detected : int;
+  sa0_undetected : int list;
+  sa1_undetected : int list;
+  leak_undetected : int list;
+  malformed : int;
+}
+
+let complete r =
+  r.malformed = 0 && r.sa0_undetected = [] && r.sa1_undetected = [] && r.leak_undetected = []
+
+let ratio r = if r.total_faults = 0 then 1. else float_of_int r.detected /. float_of_int r.total_faults
+
+let measure ?(include_leaks = false) chip vectors =
+  let malformed =
+    List.fold_left (fun n v -> if Pressure.well_formed chip v then n else n + 1) 0 vectors
+  in
+  let faults = if include_leaks then Fault.all_with_leaks chip else Fault.all chip in
+  let detected = ref 0 in
+  let sa0_undetected = ref [] in
+  let sa1_undetected = ref [] in
+  let leak_undetected = ref [] in
+  List.iter
+    (fun fault ->
+      if List.exists (fun v -> Pressure.detects chip v fault) vectors then incr detected
+      else
+        match fault with
+        | Fault.Stuck_at_0 e -> sa0_undetected := e :: !sa0_undetected
+        | Fault.Stuck_at_1 v -> sa1_undetected := v :: !sa1_undetected
+        | Fault.Leak v -> leak_undetected := v :: !leak_undetected)
+    faults;
+  {
+    total_faults = List.length faults;
+    detected = !detected;
+    sa0_undetected = List.rev !sa0_undetected;
+    sa1_undetected = List.rev !sa1_undetected;
+    leak_undetected = List.rev !leak_undetected;
+    malformed;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "coverage %d/%d%s%s%s%s" r.detected r.total_faults
+    (if r.sa0_undetected = [] then "" else Fmt.str " sa0-miss=%a" Fmt.(list ~sep:comma int) r.sa0_undetected)
+    (if r.sa1_undetected = [] then "" else Fmt.str " sa1-miss=%a" Fmt.(list ~sep:comma int) r.sa1_undetected)
+    (if r.leak_undetected = [] then "" else Fmt.str " leak-miss=%a" Fmt.(list ~sep:comma int) r.leak_undetected)
+    (if r.malformed = 0 then "" else Fmt.str " malformed=%d" r.malformed)

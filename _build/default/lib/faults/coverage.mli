@@ -1,0 +1,24 @@
+(** Fault-coverage measurement of a vector set (used both to validate DFT
+    architectures and to score valve-sharing schemes, Sec. 4.1). *)
+
+type report = {
+  total_faults : int;
+  detected : int;
+  sa0_undetected : int list;  (** channel edges whose blockage escapes *)
+  sa1_undetected : int list;  (** valve ids whose stuck-open escapes *)
+  leak_undetected : int list;  (** valve ids whose control-layer leak escapes *)
+  malformed : int;  (** vectors whose fault-free reading is wrong *)
+}
+
+val complete : report -> bool
+(** All faults detected and every vector well-formed. *)
+
+val ratio : report -> float
+(** Detected fraction, in [0, 1]. *)
+
+val measure : ?include_leaks:bool -> Mf_arch.Chip.t -> Vector.t list -> report
+(** Exhaustive single-fault simulation of the vector set.  The default
+    universe is the paper's demonstration scope (stuck-at-0/1);
+    [include_leaks] extends it with the control-to-flow leak per valve. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,30 @@
+module Chip = Mf_arch.Chip
+module Bitset = Mf_util.Bitset
+module Grid = Mf_grid.Grid
+
+type t = Stuck_at_0 of int | Stuck_at_1 of int | Leak of int
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let all chip =
+  let sa0 =
+    Bitset.fold (fun e acc -> Stuck_at_0 e :: acc) (Chip.channel_edges chip) []
+  in
+  let sa1 =
+    Array.fold_left (fun acc (v : Chip.valve) -> Stuck_at_1 v.valve_id :: acc) [] (Chip.valves chip)
+  in
+  List.rev_append sa0 (List.rev sa1)
+
+let all_with_leaks chip =
+  all chip
+  @ (Array.to_list (Chip.valves chip) |> List.map (fun (v : Chip.valve) -> Leak v.valve_id))
+
+let pp chip ppf = function
+  | Stuck_at_0 e -> Fmt.pf ppf "SA0@@%a" (Grid.pp_edge (Chip.grid chip)) e
+  | Stuck_at_1 v ->
+    let valve = (Chip.valves chip).(v) in
+    Fmt.pf ppf "SA1@@v%d(%a)" v (Grid.pp_edge (Chip.grid chip)) valve.edge
+  | Leak v ->
+    let valve = (Chip.valves chip).(v) in
+    Fmt.pf ppf "LEAK@@v%d(%a)" v (Grid.pp_edge (Chip.grid chip)) valve.edge

@@ -1,0 +1,29 @@
+(** Manufacturing defect model of Sec. 2.
+
+    - [Stuck_at_0 edge]: the channel on [edge] is blocked, or its valve can
+      never open — no air passes regardless of control state.
+    - [Stuck_at_1 valve]: the valve can never close — air always passes its
+      edge.
+    - [Leak valve]: a control-to-flow layer leak at the valve's membrane
+      (the third defect class Sec. 2 mentions): whenever the valve's
+      control line is pressurised, air seeps into the flow channel at the
+      valve seat.  Detected "similarly" to stuck-at-1: a cut that closes
+      the valve while a route from its seat to the meter stays open sees
+      pressure that should not be there. *)
+
+type t =
+  | Stuck_at_0 of int  (** channel edge id *)
+  | Stuck_at_1 of int  (** valve id *)
+  | Leak of int  (** valve id *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all : Mf_arch.Chip.t -> t list
+(** The paper's demonstration universe: one stuck-at-0 per channel edge and
+    one stuck-at-1 per valve. *)
+
+val all_with_leaks : Mf_arch.Chip.t -> t list
+(** {!all} extended with one control-to-flow leak per valve. *)
+
+val pp : Mf_arch.Chip.t -> Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+module Chip = Mf_arch.Chip
+module Bitset = Mf_util.Bitset
+module Grid = Mf_grid.Grid
+module Traverse = Mf_graph.Traverse
+
+let conducts chip ?fault ~active_lines e =
+  Chip.is_channel chip e
+  && (match fault with Some (Fault.Stuck_at_0 e') when e' = e -> false | _ -> true)
+  &&
+  match Chip.valve_on chip e with
+  | None -> true
+  | Some v ->
+    (not (Bitset.mem active_lines v.control))
+    || (match fault with Some (Fault.Stuck_at_1 v') -> v' = v.valve_id | _ -> false)
+
+let reach chip ?fault (v : Vector.t) =
+  let g = Grid.graph (Chip.grid chip) in
+  let allowed e = conducts chip ?fault ~active_lines:v.active_lines e in
+  let from_source = Traverse.reachable g ~allowed ~src:v.source in
+  (* a control-to-flow leak injects air at the valve seat whenever its
+     control line is pressurised, independent of the test source *)
+  match fault with
+  | Some (Fault.Leak w) ->
+    let valve = (Chip.valves chip).(w) in
+    if Bitset.mem v.active_lines valve.control then begin
+      let a, b = Mf_graph.Graph.endpoints g valve.edge in
+      Bitset.union_into from_source (Traverse.reachable g ~allowed ~src:a);
+      Bitset.union_into from_source (Traverse.reachable g ~allowed ~src:b);
+      from_source
+    end
+    else from_source
+  | Some (Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _) | None -> from_source
+
+let reading chip ?fault (v : Vector.t) =
+  let r = reach chip ?fault v in
+  List.exists (fun meter -> Bitset.mem r meter) v.meters
+
+let readings chip ?fault (v : Vector.t) =
+  let r = reach chip ?fault v in
+  List.map (fun meter -> Bitset.mem r meter) v.meters
+
+let detects chip (v : Vector.t) fault = readings chip ~fault v <> readings chip v
+
+let well_formed chip (v : Vector.t) =
+  (* every meter must agree with the vector's expectation when no defect is
+     present: a path/tree vector pressurises all its meters, a cut vector
+     none of them *)
+  List.for_all (fun r -> r = v.expected) (readings chip v)

@@ -1,0 +1,29 @@
+(** Pressure-propagation simulation: the test-bench physics of Sec. 2.
+
+    Air injected at the source port spreads through every conducting channel
+    edge; a meter reads pressure iff it is in the connected component of the
+    source.  An edge conducts when it carries a channel, is not blocked by a
+    stuck-at-0 defect, and its valve (if any) is open — either because its
+    control line is inactive or because the valve is stuck-at-1. *)
+
+val conducts :
+  Mf_arch.Chip.t -> ?fault:Fault.t -> active_lines:Mf_util.Bitset.t -> int -> bool
+(** Does a single edge conduct under the given control state and optional
+    injected fault? *)
+
+val reading : Mf_arch.Chip.t -> ?fault:Fault.t -> Vector.t -> bool
+(** [reading chip ?fault v] applies vector [v] and reports whether any meter
+    observes pressure. *)
+
+val readings : Mf_arch.Chip.t -> ?fault:Fault.t -> Vector.t -> bool list
+(** Per-meter readings, in [v.meters] order. *)
+
+val detects : Mf_arch.Chip.t -> Vector.t -> Fault.t -> bool
+(** A vector detects a fault when the faulty reading of {e some} meter
+    differs from its fault-free reading (each meter is observed
+    independently on the test bench). *)
+
+val well_formed : Mf_arch.Chip.t -> Vector.t -> bool
+(** The vector's fault-free reading matches its [expected] field — the
+    basic sanity required before a vector may enter a test set (an invalid
+    cut vector, for instance, reads pressure even without defects). *)

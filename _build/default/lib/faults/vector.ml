@@ -1,0 +1,48 @@
+module Chip = Mf_arch.Chip
+module Bitset = Mf_util.Bitset
+
+type kind = Path of int list | Cut of int list
+
+type t = {
+  label : string;
+  kind : kind;
+  active_lines : Bitset.t;
+  source : int;
+  meters : int list;
+  expected : bool;
+}
+
+let of_path chip ~source ~meters edges =
+  let active = Bitset.create (Chip.n_controls chip) in
+  Bitset.fill active;
+  List.iter
+    (fun e ->
+      match Chip.valve_on chip e with
+      | Some v -> Bitset.remove active v.control
+      | None -> ())
+    edges;
+  {
+    label = Printf.sprintf "path[%d edges]" (List.length edges);
+    kind = Path edges;
+    active_lines = active;
+    source;
+    meters;
+    expected = true;
+  }
+
+let of_cut chip ~source ~meters valve_ids =
+  let active = Bitset.create (Chip.n_controls chip) in
+  let all_valves = Chip.valves chip in
+  List.iter (fun v -> Bitset.add active all_valves.(v).control) valve_ids;
+  {
+    label = Printf.sprintf "cut[%d valves]" (List.length valve_ids);
+    kind = Cut valve_ids;
+    active_lines = active;
+    source;
+    meters;
+    expected = false;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "%s src=%d meters=%a expect=%b" t.label t.source Fmt.(list ~sep:comma int) t.meters
+    t.expected

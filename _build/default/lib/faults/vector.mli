@@ -1,0 +1,32 @@
+(** Test vectors: a control-line activation pattern applied while air
+    pressure is injected at a source port and observed at meter ports.
+
+    Activating a control line pressurises it, {e closing} every valve it
+    drives; valves on inactive lines are open; channel edges without a
+    valve always conduct. *)
+
+type kind =
+  | Path of int list
+      (** the channel edges intended to conduct (a source→meter path or,
+          for multi-meter vectors, a tree) *)
+  | Cut of int list  (** the valve ids intended to isolate source from meters *)
+
+type t = {
+  label : string;
+  kind : kind;
+  active_lines : Mf_util.Bitset.t;  (** pressurised control lines *)
+  source : int;  (** source port node *)
+  meters : int list;  (** meter port nodes (singleton in DFT architectures) *)
+  expected : bool;  (** fault-free reading: does any meter see pressure? *)
+}
+
+val of_path : Mf_arch.Chip.t -> source:int -> meters:int list -> int list -> t
+(** [of_path chip ~source ~meters edges] builds the stuck-at-0 vector that
+    opens exactly the valves on [edges] (and, under control sharing,
+    whatever else their lines drive) and closes every other line. *)
+
+val of_cut : Mf_arch.Chip.t -> source:int -> meters:int list -> int list -> t
+(** [of_cut chip ~source ~meters valve_ids] activates the lines of the cut
+    valves and releases all others. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+module Bitset = Mf_util.Bitset
+
+(* Residual network: for undirected edge e with capacity c we create arcs
+   u->v and v->u, each with capacity c, paired so that pushing along one
+   grows the reverse capacity of the other.  This is the standard encoding
+   of undirected capacities. *)
+type residual = {
+  heads : int array;          (* arc -> head node *)
+  caps : int array;           (* arc -> remaining capacity *)
+  origin : int array;         (* arc -> originating undirected edge id *)
+  first : int list array;     (* node -> arcs leaving it *)
+}
+
+let build g ~allowed ~capacity =
+  let n = Graph.n_nodes g in
+  let arcs = ref [] in
+  let count = ref 0 in
+  let first = Array.make n [] in
+  let add_arc u v c e =
+    let id = !count in
+    incr count;
+    arcs := (v, c, e) :: !arcs;
+    first.(u) <- id :: first.(u);
+    id
+  in
+  Graph.iter_edges
+    (fun e u v ->
+      if allowed e then begin
+        let c = capacity e in
+        assert (c >= 0);
+        let _ = add_arc u v c e in
+        let _ = add_arc v u c e in
+        ()
+      end)
+    g;
+  let listed = Array.of_list (List.rev !arcs) in
+  let heads = Array.map (fun (v, _, _) -> v) listed in
+  let caps = Array.map (fun (_, c, _) -> c) listed in
+  let origin = Array.map (fun (_, _, e) -> e) listed in
+  { heads; caps; origin; first }
+
+(* Arc pairing: arcs were added in pairs, so arc a's reverse is a lxor 1. *)
+let rev a = a lxor 1
+
+let bfs_levels r ~n ~src =
+  let level = Array.make n (-1) in
+  let queue = Queue.create () in
+  level.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit a =
+      let v = r.heads.(a) in
+      if r.caps.(a) > 0 && level.(v) < 0 then begin
+        level.(v) <- level.(u) + 1;
+        Queue.add v queue
+      end
+    in
+    List.iter visit r.first.(u)
+  done;
+  level
+
+let max_flow_residual r ~n ~src ~dst =
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let level = bfs_levels r ~n ~src in
+    if level.(dst) < 0 then continue := false
+    else begin
+      (* iterator state per node to avoid rescanning saturated arcs *)
+      let pending = Array.map (fun arcs -> ref arcs) r.first in
+      let rec push u limit =
+        if u = dst then limit
+        else begin
+          let advanced = ref 0 in
+          let finished = ref false in
+          while not !finished && !advanced = 0 do
+            match !(pending.(u)) with
+            | [] -> finished := true
+            | a :: rest ->
+              let v = r.heads.(a) in
+              if r.caps.(a) > 0 && level.(v) = level.(u) + 1 then begin
+                let got = push v (min limit r.caps.(a)) in
+                if got > 0 then begin
+                  r.caps.(a) <- r.caps.(a) - got;
+                  r.caps.(rev a) <- r.caps.(rev a) + got;
+                  advanced := got
+                end
+                else pending.(u) := rest
+              end
+              else pending.(u) := rest
+          done;
+          !advanced
+        end
+      in
+      let rec drain () =
+        let got = push src max_int in
+        if got > 0 then begin
+          total := !total + got;
+          drain ()
+        end
+      in
+      drain ()
+    end
+  done;
+  !total
+
+let max_flow g ~allowed ~capacity ~src ~dst =
+  let r = build g ~allowed ~capacity in
+  max_flow_residual r ~n:(Graph.n_nodes g) ~src ~dst
+
+let min_cut g ~allowed ~capacity ~src ~dst =
+  let n = Graph.n_nodes g in
+  let r = build g ~allowed ~capacity in
+  let value = max_flow_residual r ~n ~src ~dst in
+  (* Source side of the cut: nodes reachable in the residual network. *)
+  let side = Bitset.create n in
+  let queue = Queue.create () in
+  Bitset.add side src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit a =
+      let v = r.heads.(a) in
+      if r.caps.(a) > 0 && not (Bitset.mem side v) then begin
+        Bitset.add side v;
+        Queue.add v queue
+      end
+    in
+    List.iter visit r.first.(u)
+  done;
+  let cut =
+    Graph.fold_edges
+      (fun e u v acc ->
+        if allowed e && Bitset.mem side u <> Bitset.mem side v then e :: acc else acc)
+      g []
+  in
+  (value, List.rev cut)

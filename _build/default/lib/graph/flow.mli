@@ -1,0 +1,19 @@
+(** Maximum flow / minimum edge cut on an undirected {!Graph.t}, used to
+    generate minimal test cuts (sets of closed valves that separate the
+    pressure source from the meter).
+
+    Dinic's algorithm; each undirected edge becomes a pair of residual arcs
+    sharing capacity. *)
+
+val max_flow :
+  Graph.t -> allowed:(int -> bool) -> capacity:(int -> int) -> src:int -> dst:int -> int
+(** Value of a maximum [src]→[dst] flow through allowed edges. *)
+
+val min_cut :
+  Graph.t -> allowed:(int -> bool) -> capacity:(int -> int) -> src:int -> dst:int ->
+  int * int list
+(** [min_cut g ~allowed ~capacity ~src ~dst] is [(value, cut_edges)] where
+    [cut_edges] are the edge ids of a minimum cut: removing them disconnects
+    [src] from [dst] in the allowed subgraph.  [value] equals the sum of
+    their capacities (max-flow min-cut).  If [src] and [dst] are already
+    disconnected the cut is empty. *)

@@ -1,0 +1,65 @@
+type t = {
+  n : int;
+  mutable m : int;
+  mutable ends : (int * int) array;
+  adj : (int * int) list array; (* node -> (edge id, neighbour) list *)
+}
+
+let create ~n =
+  assert (n >= 0);
+  { n; m = 0; ends = [||]; adj = Array.make n [] }
+
+let n_nodes g = g.n
+let n_edges g = g.m
+
+let add_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Graph.add_edge: node out of range";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  let id = g.m in
+  let capacity = Array.length g.ends in
+  if id = capacity then begin
+    let fresh = Array.make (max 16 (2 * capacity)) (0, 0) in
+    Array.blit g.ends 0 fresh 0 g.m;
+    g.ends <- fresh
+  end;
+  g.ends.(id) <- (u, v);
+  g.adj.(u) <- (id, v) :: g.adj.(u);
+  g.adj.(v) <- (id, u) :: g.adj.(v);
+  g.m <- g.m + 1;
+  id
+
+let endpoints g e =
+  if e < 0 || e >= g.m then invalid_arg "Graph.endpoints: bad edge id";
+  g.ends.(e)
+
+let other_endpoint g ~edge u =
+  let a, b = endpoints g edge in
+  if u = a then b
+  else if u = b then a
+  else invalid_arg "Graph.other_endpoint: node not an endpoint"
+
+let incident g u = g.adj.(u)
+
+let degree g u = List.length g.adj.(u)
+
+let find_edge g u v =
+  let rec search = function
+    | [] -> None
+    | (e, w) :: rest -> if w = v then Some e else search rest
+  in
+  search g.adj.(u)
+
+let fold_edges f g init =
+  let acc = ref init in
+  for e = 0 to g.m - 1 do
+    let u, v = g.ends.(e) in
+    acc := f e u v !acc
+  done;
+  !acc
+
+let iter_edges f g = fold_edges (fun e u v () -> f e u v) g ()
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>graph %d nodes %d edges" g.n g.m;
+  iter_edges (fun e u v -> Fmt.pf ppf "@,  e%d: %d -- %d" e u v) g;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,40 @@
+(** Undirected multigraph with integer nodes [0..n-1] and densely numbered
+    edge ids, the common substrate for the connection grid, pressure
+    propagation and routing.
+
+    Edges carry no payload here; domain layers keep side tables indexed by
+    edge id. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is the edgeless graph on [n] nodes. *)
+
+val add_edge : t -> int -> int -> int
+(** [add_edge g u v] inserts an undirected edge and returns its id.  Edge ids
+    are consecutive from 0 in insertion order.  Self-loops are rejected. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val endpoints : t -> int -> int * int
+(** Endpoints of an edge id, in insertion order. *)
+
+val other_endpoint : t -> edge:int -> int -> int
+(** [other_endpoint g ~edge u] is the endpoint of [edge] that is not [u].
+    Raises [Invalid_argument] if [u] is not an endpoint. *)
+
+val incident : t -> int -> (int * int) list
+(** [incident g u] lists [(edge_id, neighbour)] pairs at node [u]. *)
+
+val degree : t -> int -> int
+
+val find_edge : t -> int -> int -> int option
+(** [find_edge g u v] is some edge id joining [u] and [v] if one exists. *)
+
+val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_edges f g init] folds [f edge_id u v] over all edges. *)
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+module Bitset = Mf_util.Bitset
+module Heap = Mf_util.Heap
+
+let reachable g ~allowed ~src =
+  let seen = Bitset.create (Graph.n_nodes g) in
+  let queue = Queue.create () in
+  Bitset.add seen src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit (e, v) =
+      if allowed e && not (Bitset.mem seen v) then begin
+        Bitset.add seen v;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.incident g u)
+  done;
+  seen
+
+let connected g ~allowed u v = Bitset.mem (reachable g ~allowed ~src:u) v
+
+(* BFS keeping, for every reached node, the edge we arrived through. *)
+let bfs_parents g ~allowed ~src =
+  let n = Graph.n_nodes g in
+  let parent_edge = Array.make n (-1) in
+  let parent_node = Array.make n (-1) in
+  let seen = Bitset.create n in
+  let queue = Queue.create () in
+  Bitset.add seen src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit (e, v) =
+      if allowed e && not (Bitset.mem seen v) then begin
+        Bitset.add seen v;
+        parent_edge.(v) <- e;
+        parent_node.(v) <- u;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.incident g u)
+  done;
+  (seen, parent_edge, parent_node)
+
+let unwind parent_edge parent_node ~src ~dst =
+  let rec loop v acc = if v = src then acc else loop parent_node.(v) (parent_edge.(v) :: acc) in
+  loop dst []
+
+let bfs_path g ~allowed ~src ~dst =
+  if src = dst then Some []
+  else
+    let seen, parent_edge, parent_node = bfs_parents g ~allowed ~src in
+    if Bitset.mem seen dst then Some (unwind parent_edge parent_node ~src ~dst) else None
+
+let bfs_dist g ~allowed ~src =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit (e, v) =
+      if allowed e && dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.incident g u)
+  done;
+  dist
+
+let dijkstra g ~allowed ~weight ~src ~dst =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let parent_node = Array.make n (-1) in
+  let settled = Bitset.create n in
+  let heap = Heap.create () in
+  dist.(src) <- 0.;
+  Heap.push heap 0. src;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not (Bitset.mem settled u) then begin
+        Bitset.add settled u;
+        if u <> dst then begin
+          let relax (e, v) =
+            if allowed e && not (Bitset.mem settled v) then begin
+              let w = weight e in
+              assert (w >= 0.);
+              let cand = d +. w in
+              if cand < dist.(v) then begin
+                dist.(v) <- cand;
+                parent_edge.(v) <- e;
+                parent_node.(v) <- u;
+                Heap.push heap cand v
+              end
+            end
+          in
+          List.iter relax (Graph.incident g u)
+        end
+      end;
+      if not (Bitset.mem settled dst) then drain ()
+  in
+  drain ();
+  if dist.(dst) = infinity then None
+  else Some (dist.(dst), unwind parent_edge parent_node ~src ~dst)
+
+let components g ~allowed =
+  let n = Graph.n_nodes g in
+  let seen = Bitset.create n in
+  let comps = ref [] in
+  for start = 0 to n - 1 do
+    if not (Bitset.mem seen start) then begin
+      let comp = ref [] in
+      let queue = Queue.create () in
+      Bitset.add seen start;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        comp := u :: !comp;
+        let visit (e, v) =
+          if allowed e && not (Bitset.mem seen v) then begin
+            Bitset.add seen v;
+            Queue.add v queue
+          end
+        in
+        List.iter visit (Graph.incident g u)
+      done;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let path_nodes g ~src edges =
+  let step u e = Graph.other_endpoint g ~edge:e u in
+  let rec walk u acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let v = step u e in
+      walk v (v :: acc) rest
+  in
+  walk src [src] edges

@@ -1,0 +1,34 @@
+(** Traversals over a {!Graph.t} restricted to a caller-supplied set of
+    usable edges.
+
+    Every function takes [~allowed:(int -> bool)] over edge ids; this is how
+    valve states (open/closed) are projected onto the topology: an open valve
+    is an allowed edge. *)
+
+val reachable : Graph.t -> allowed:(int -> bool) -> src:int -> Mf_util.Bitset.t
+(** Nodes reachable from [src] through allowed edges (includes [src]). *)
+
+val connected : Graph.t -> allowed:(int -> bool) -> int -> int -> bool
+(** [connected g ~allowed u v] is pressure propagation: can air injected at
+    [u] be observed at [v]? *)
+
+val bfs_path : Graph.t -> allowed:(int -> bool) -> src:int -> dst:int -> int list option
+(** A shortest (fewest edges) path from [src] to [dst] as an edge-id list,
+    or [None] when disconnected. *)
+
+val bfs_dist : Graph.t -> allowed:(int -> bool) -> src:int -> int array
+(** Hop distances from [src]; unreachable nodes get [max_int]. *)
+
+val dijkstra :
+  Graph.t -> allowed:(int -> bool) -> weight:(int -> float) -> src:int -> dst:int ->
+  (float * int list) option
+(** Cheapest path under non-negative edge [weight]s, as (cost, edge list). *)
+
+val components : Graph.t -> allowed:(int -> bool) -> int list list
+(** Connected components (as node lists) of the allowed subgraph, covering
+    every node of the graph (isolated nodes form singleton components). *)
+
+val path_nodes : Graph.t -> src:int -> int list -> int list
+(** [path_nodes g ~src edges] expands an edge path starting at [src] into the
+    visited node sequence (starting with [src]).  Raises if the edges do not
+    form a walk from [src]. *)

@@ -1,0 +1,48 @@
+module Graph = Mf_graph.Graph
+
+type t = { width : int; height : int; graph : Graph.t }
+
+let node_unchecked w x y = (y * w) + x
+
+let create ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Grid.create: empty grid";
+  let g = Graph.create ~n:(width * height) in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let here = node_unchecked width x y in
+      if x + 1 < width then ignore (Graph.add_edge g here (node_unchecked width (x + 1) y));
+      if y + 1 < height then ignore (Graph.add_edge g here (node_unchecked width x (y + 1)))
+    done
+  done;
+  { width; height; graph = g }
+
+let width t = t.width
+let height t = t.height
+let graph t = t.graph
+let n_nodes t = t.width * t.height
+let n_edges t = Graph.n_edges t.graph
+
+let node t ~x ~y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg (Printf.sprintf "Grid.node: (%d,%d) outside %dx%d" x y t.width t.height);
+  node_unchecked t.width x y
+
+let coords t n =
+  if n < 0 || n >= n_nodes t then invalid_arg "Grid.coords: bad node";
+  (n mod t.width, n / t.width)
+
+let edge_between t u v = Graph.find_edge t.graph u v
+
+let edge_between_xy t (x1, y1) (x2, y2) = edge_between t (node t ~x:x1 ~y:y1) (node t ~x:x2 ~y:y2)
+
+let manhattan t u v =
+  let x1, y1 = coords t u and x2, y2 = coords t v in
+  abs (x1 - x2) + abs (y1 - y2)
+
+let pp_node t ppf n =
+  let x, y = coords t n in
+  Fmt.pf ppf "(%d,%d)" x y
+
+let pp_edge t ppf e =
+  let u, v = Graph.endpoints t.graph e in
+  Fmt.pf ppf "%a-%a" (pp_node t) u (pp_node t) v

@@ -1,0 +1,40 @@
+(** The paper's virtual connection grid (Fig. 5).
+
+    A [width] × [height] lattice of nodes with 4-neighbour edges.  Devices
+    and ports of a chip are embedded on nodes; channels occupy edges; the
+    unoccupied nodes and edges are the candidate locations for DFT channels
+    and valves. *)
+
+type t
+
+val create : width:int -> height:int -> t
+(** Builds the full lattice.  Edge ids are those of the underlying
+    {!Mf_graph.Graph.t} and are stable for a given size: all horizontal
+    edges row-major first behaviourally unspecified — use {!edge_between}
+    rather than assuming an order. *)
+
+val width : t -> int
+val height : t -> int
+val graph : t -> Mf_graph.Graph.t
+(** The lattice as a graph; node/edge ids are shared with all functions
+    below. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val node : t -> x:int -> y:int -> int
+(** Node id at coordinates; raises [Invalid_argument] when out of range. *)
+
+val coords : t -> int -> int * int
+(** [coords g n] is [(x, y)] of node [n]. *)
+
+val edge_between : t -> int -> int -> int option
+(** The lattice edge joining two adjacent nodes, if any. *)
+
+val edge_between_xy : t -> int * int -> int * int -> int option
+
+val manhattan : t -> int -> int -> int
+(** Manhattan distance between two nodes. *)
+
+val pp_node : t -> Format.formatter -> int -> unit
+val pp_edge : t -> Format.formatter -> int -> unit

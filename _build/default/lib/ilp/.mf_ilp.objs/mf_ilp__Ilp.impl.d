@@ -1,0 +1,1 @@
+lib/ilp/ilp.ml: Array Float List Mf_lp Mf_util Printf Sys

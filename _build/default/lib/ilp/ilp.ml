@@ -1,0 +1,144 @@
+module Lp = Mf_lp.Lp
+module Heap = Mf_util.Heap
+
+type var = Lp.var
+
+type relation = Lp.relation = Le | Ge | Eq
+
+type row = { terms : (float * var) list; rel : relation; rhs : float }
+
+type t = {
+  lp : Lp.t;
+  mutable binaries : var list; (* reversed *)
+  mutable rows : row list; (* reversed *)
+  mutable nodes_explored : int;
+}
+
+type solution = { objective : float; values : float array }
+
+type outcome =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Node_limit
+
+type lazy_cut = (float * var) list * relation * float
+
+let create () = { lp = Lp.create (); binaries = []; rows = []; nodes_explored = 0 }
+
+let nodes_explored t = t.nodes_explored
+
+let add_binary ?(obj = 0.) t =
+  let v = Lp.add_var ~lower:0. ~upper:1. ~obj t.lp in
+  t.binaries <- v :: t.binaries;
+  v
+
+let add_continuous ?(lower = 0.) ?(upper = infinity) ?(obj = 0.) t =
+  Lp.add_var ~lower ~upper ~obj t.lp
+
+let n_vars t = Lp.n_vars t.lp
+
+let add_row t terms rel rhs =
+  Lp.add_row t.lp terms rel rhs;
+  t.rows <- { terms; rel; rhs } :: t.rows
+
+let int_tol = 1e-6
+
+(* A node is a set of branching decisions on binary variables.  Best-first
+   on the parent LP bound, with a small depth bonus so ties resolve as a
+   dive (reaches integral incumbents quickly). *)
+type node = { fixings : (var * float) list; bound : float }
+
+let node_priority bound depth = bound -. (1e-7 *. float_of_int depth)
+
+let solve ?(node_limit = 100_000) ?(lazy_cuts = fun _ -> []) ?(branch_priority = fun _ -> 0)
+    ?(upper_bound = infinity) t =
+  let binaries = Array.of_list (List.rev t.binaries) in
+  let incumbent = ref None in
+  let incumbent_obj = ref upper_bound in
+  let heap : node Heap.t = Heap.create () in
+  Heap.push heap neg_infinity { fixings = []; bound = neg_infinity };
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let fix_of fixings v = List.assoc_opt v fixings in
+  let most_fractional values =
+    let best = ref (-1) in
+    let best_prio = ref max_int in
+    let best_frac = ref int_tol in
+    Array.iter
+      (fun v ->
+        let x = values.(v) in
+        let frac = abs_float (x -. Float.round x) in
+        if frac > int_tol then begin
+          let prio = branch_priority v in
+          if prio < !best_prio || (prio = !best_prio && frac > !best_frac) then begin
+            best_prio := prio;
+            best_frac := frac;
+            best := v
+          end
+        end)
+      binaries;
+    !best
+  in
+  let debug = Sys.getenv_opt "MFDFT_ILP_DEBUG" <> None in
+  let t_start = Sys.time () in
+  let rec best_first () =
+    if !nodes >= node_limit then truncated := true
+    else
+      match Heap.pop heap with
+      | None -> ()
+      | Some (_, node) ->
+        if node.bound < !incumbent_obj -. 1e-9 then begin
+          incr nodes;
+          if debug && !nodes mod 20 = 0 then
+            Printf.eprintf "[ilp] nodes=%d rows=%d vars=%d incumbent=%g elapsed=%.1fs\n%!" !nodes
+              (Lp.n_rows t.lp) (Lp.n_vars t.lp) !incumbent_obj (Sys.time () -. t_start);
+          match
+            (* numerical distress in one relaxation prunes that subtree
+               rather than aborting the whole search *)
+            (try Lp.solve ~fix:(fix_of node.fixings) t.lp with Failure _ -> Lp.Infeasible)
+          with
+          | Lp.Infeasible -> best_first ()
+          | Lp.Unbounded -> failwith "Ilp.solve: LP relaxation unbounded"
+          | Lp.Optimal { objective; values } ->
+            if objective >= !incumbent_obj -. 1e-9 then best_first ()
+            else begin
+              let branch_var = most_fractional values in
+              if branch_var < 0 then begin
+                (* integral candidate; snap tiny residues *)
+                Array.iter (fun v -> values.(v) <- Float.round values.(v)) binaries;
+                let candidate = { objective; values } in
+                match lazy_cuts candidate with
+                | [] ->
+                  incumbent := Some candidate;
+                  incumbent_obj := objective;
+                  best_first ()
+                | cuts ->
+                  List.iter (fun (terms, rel, rhs) -> add_row t terms rel rhs) cuts;
+                  (* re-explore this subproblem under the new cuts *)
+                  Heap.push heap objective { node with bound = objective };
+                  best_first ()
+              end
+              else begin
+                let child x =
+                  { fixings = (branch_var, x) :: node.fixings; bound = objective }
+                in
+                (* explore the branch matching the fractional value first *)
+                let first, second =
+                  if values.(branch_var) >= 0.5 then (child 1., child 0.)
+                  else (child 0., child 1.)
+                in
+                let depth = List.length node.fixings + 1 in
+                Heap.push heap (node_priority objective depth +. 1e-12) second;
+                Heap.push heap (node_priority objective depth) first;
+                best_first ()
+              end
+            end
+        end
+        else best_first ()
+  in
+  best_first ();
+  t.nodes_explored <- !nodes;
+  match !incumbent with
+  | Some sol -> if !truncated then Feasible sol else Optimal sol
+  | None -> if !truncated then Node_limit else Infeasible

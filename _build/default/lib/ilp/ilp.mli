@@ -1,0 +1,56 @@
+(** 0-1 integer linear programming by branch-and-bound over the
+    {!Mf_lp.Lp} relaxation, with lazy-constraint callbacks.
+
+    This is the solver behind the paper's DFT test-path formulation
+    (constraints (1)–(4), objective (5)); the lazy callback implements the
+    loop-elimination cuts of Sec. 3 (analogous to subtour elimination). *)
+
+type t
+type var = Mf_lp.Lp.var
+
+type relation = Mf_lp.Lp.relation = Le | Ge | Eq
+
+type solution = { objective : float; values : float array }
+(** [values.(v)] is exactly [0.] or [1.] for binary variables. *)
+
+type outcome =
+  | Optimal of solution  (** proven optimal (within node budget semantics) *)
+  | Feasible of solution  (** incumbent found but search truncated by budget *)
+  | Infeasible
+  | Node_limit  (** budget exhausted with no incumbent *)
+
+val create : unit -> t
+
+val add_binary : ?obj:float -> t -> var
+(** Declare a 0-1 variable with objective coefficient [obj] (minimised). *)
+
+val add_continuous : ?lower:float -> ?upper:float -> ?obj:float -> t -> var
+
+val n_vars : t -> int
+
+val add_row : t -> (float * var) list -> relation -> float -> unit
+
+type lazy_cut = (float * var) list * relation * float
+
+val nodes_explored : t -> int
+(** LP relaxations solved during the most recent {!solve} call. *)
+
+val solve :
+  ?node_limit:int ->
+  ?lazy_cuts:(solution -> lazy_cut list) ->
+  ?branch_priority:(var -> int) ->
+  ?upper_bound:float ->
+  t ->
+  outcome
+(** Best-first branch-and-bound.  Whenever an integral candidate is found,
+    [lazy_cuts] may return violated constraints; a non-empty return rejects
+    the candidate, installs the cuts globally, and continues the search
+    (the candidate's subtree is re-explored under the new cuts).
+    [node_limit] defaults to 100_000 LP relaxation solves.
+    [branch_priority] groups binaries: among fractional variables, those
+    with the smallest priority are branched on first (most-fractional
+    within a group); default is one group.
+    [upper_bound] primes the incumbent objective for pruning: subtrees that
+    cannot beat it are cut, and solutions no better than it are not
+    reported — callers supplying a known feasible solution's value should
+    fall back to that solution when the outcome is [Infeasible]. *)

@@ -1,0 +1,86 @@
+type var = int
+
+type relation = Le | Ge | Eq
+
+type row = { terms : (float * var) list; rel : relation; rhs : float }
+
+type t = {
+  mutable lower : float list; (* reversed *)
+  mutable upper : float list;
+  mutable obj : float list;
+  mutable nv : int;
+  mutable rows : row list; (* reversed *)
+  mutable nr : int;
+}
+
+type result =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+let create () = { lower = []; upper = []; obj = []; nv = 0; rows = []; nr = 0 }
+
+let add_var ?(lower = 0.) ?(upper = infinity) ?(obj = 0.) t =
+  let id = t.nv in
+  t.lower <- lower :: t.lower;
+  t.upper <- upper :: t.upper;
+  t.obj <- obj :: t.obj;
+  t.nv <- t.nv + 1;
+  id
+
+let n_vars t = t.nv
+
+let set_obj t v coeff =
+  if v < 0 || v >= t.nv then invalid_arg "Lp.set_obj: bad variable";
+  t.obj <- List.mapi (fun i c -> if i = t.nv - 1 - v then coeff else c) t.obj
+
+let add_row t terms rel rhs =
+  List.iter
+    (fun (_, v) -> if v < 0 || v >= t.nv then invalid_arg "Lp.add_row: bad variable")
+    terms;
+  t.rows <- { terms; rel; rhs } :: t.rows;
+  t.nr <- t.nr + 1
+
+let n_rows t = t.nr
+
+let solve ?max_iters ?(fix = fun _ -> None) t =
+  let nv = t.nv in
+  let rows = Array.of_list (List.rev t.rows) in
+  let m = Array.length rows in
+  (* slack variable per inequality row *)
+  let n_slack = Array.fold_left (fun k r -> if r.rel = Eq then k else k + 1) 0 rows in
+  let n = nv + n_slack in
+  let lower = Array.make n 0. in
+  let upper = Array.make n infinity in
+  let c = Array.make n 0. in
+  List.iteri (fun i v -> lower.(nv - 1 - i) <- v) t.lower;
+  List.iteri (fun i v -> upper.(nv - 1 - i) <- v) t.upper;
+  List.iteri (fun i v -> c.(nv - 1 - i) <- v) t.obj;
+  for v = 0 to nv - 1 do
+    match fix v with
+    | None -> ()
+    | Some x ->
+      lower.(v) <- x;
+      upper.(v) <- x
+  done;
+  let a = Array.make_matrix m n 0. in
+  let b = Array.make m 0. in
+  let next_slack = ref nv in
+  Array.iteri
+    (fun i r ->
+      List.iter (fun (coef, v) -> a.(i).(v) <- a.(i).(v) +. coef) r.terms;
+      b.(i) <- r.rhs;
+      match r.rel with
+      | Eq -> ()
+      | Le ->
+        a.(i).(!next_slack) <- 1.;
+        incr next_slack
+      | Ge ->
+        a.(i).(!next_slack) <- -1.;
+        incr next_slack)
+    rows;
+  match Simplex.solve ?max_iters ~a ~b ~c ~lower ~upper () with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal { objective; values } ->
+    Optimal { objective; values = Array.sub values 0 nv }

@@ -1,0 +1,40 @@
+(** Incremental linear-program builder over {!Simplex}.
+
+    Rows may be inequalities; slack variables and conversion to the simplex
+    computational form happen at [solve] time.  The objective sense is
+    minimisation. *)
+
+type t
+type var = int
+
+type relation = Le | Ge | Eq
+
+type result =
+  | Optimal of { objective : float; values : float array }
+      (** [values] is indexed by {!var}. *)
+  | Infeasible
+  | Unbounded
+
+val create : unit -> t
+
+val add_var : ?lower:float -> ?upper:float -> ?obj:float -> t -> var
+(** [add_var t] declares a variable with bounds [\[lower, upper\]]
+    (default [\[0, infinity)]) and objective coefficient [obj] (default 0). *)
+
+val n_vars : t -> int
+
+val set_obj : t -> var -> float -> unit
+(** Overwrite a variable's objective coefficient. *)
+
+val add_row : t -> (float * var) list -> relation -> float -> unit
+(** [add_row t terms rel rhs] adds the constraint [Σ coef·var rel rhs].
+    Repeated variables in [terms] are summed. *)
+
+val n_rows : t -> int
+
+val solve : ?max_iters:int -> ?fix:(var -> float option) -> t -> result
+(** Solve the LP (relaxation).  [fix v = Some x] clamps both bounds of [v]
+    to [x] for this solve only — how branch-and-bound explores subproblems
+    without rebuilding the model.  The builder is reusable: more rows and
+    variables may be added after a solve and the model solved again, which
+    is how lazy loop-elimination constraints are injected. *)

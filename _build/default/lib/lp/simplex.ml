@@ -1,0 +1,315 @@
+type result =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+let eps_cost = 1e-7 (* reduced-cost optimality tolerance *)
+let eps_pivot = 1e-9 (* smallest acceptable pivot element *)
+let eps_feas = 1e-7 (* primal feasibility tolerance *)
+
+type status = Basic | At_lower | At_upper
+
+(* Working state for one (phase of a) simplex run.
+
+   [tab] is the current tableau B^-1 * A over all columns including
+   artificials; [xb] holds the values of the basic variables; [red] is the
+   reduced-cost row for the active objective; nonbasic variables sit at the
+   bound recorded in [status]. *)
+type state = {
+  m : int;
+  n : int; (* total columns including artificials *)
+  tab : float array array;
+  xb : float array;
+  basis : int array;
+  status : status array;
+  lower : float array;
+  upper : float array;
+  red : float array;
+}
+
+let nonbasic_value st j =
+  match st.status.(j) with
+  | At_lower -> st.lower.(j)
+  | At_upper -> st.upper.(j)
+  | Basic -> invalid_arg "nonbasic_value of basic variable"
+
+(* Reduced costs from scratch for objective [c]: r = c - c_B * tab. *)
+let recompute_reduced st c =
+  for j = 0 to st.n - 1 do
+    st.red.(j) <- c.(j)
+  done;
+  for i = 0 to st.m - 1 do
+    let cb = c.(st.basis.(i)) in
+    if cb <> 0. then begin
+      let row = st.tab.(i) in
+      for j = 0 to st.n - 1 do
+        st.red.(j) <- st.red.(j) -. (cb *. row.(j))
+      done
+    end
+  done
+
+(* Entering column choice.  A nonbasic variable improves the objective when
+   it is at its lower bound with negative reduced cost (increase it) or at
+   its upper bound with positive reduced cost (decrease it).  [bland] forces
+   smallest-index selection for anti-cycling. *)
+let choose_entering st ~bland ~frozen =
+  let best = ref (-1) in
+  let best_score = ref eps_cost in
+  let found_bland = ref (-1) in
+  (try
+     for j = 0 to st.n - 1 do
+       if not (frozen j) then begin
+         let improving =
+           match st.status.(j) with
+           | Basic -> 0.
+           | At_lower -> -.st.red.(j)
+           | At_upper ->
+             (* a variable with equal bounds cannot move *)
+             if st.upper.(j) -. st.lower.(j) < eps_feas then 0. else st.red.(j)
+         in
+         if improving > eps_cost then begin
+           if bland then begin
+             found_bland := j;
+             raise Exit
+           end;
+           if improving > !best_score then begin
+             best_score := improving;
+             best := j
+           end
+         end
+       end
+     done
+   with Exit -> ());
+  if bland then !found_bland else !best
+
+(* One simplex iteration for entering column [j].  Returns [`Progress] or
+   [`Unbounded]. *)
+let iterate st j =
+  let increasing = st.status.(j) = At_lower in
+  (* effective column: direction of change of basic variables is -dir*t *)
+  let dir i = if increasing then st.tab.(i).(j) else -.st.tab.(i).(j) in
+  (* ratio test: largest step t >= 0 keeping all basic vars within bounds *)
+  let limit = ref (st.upper.(j) -. st.lower.(j)) (* bound-flip limit *) in
+  let leave = ref (-1) in
+  let leave_at_upper = ref false in
+  for i = 0 to st.m - 1 do
+    let d = dir i in
+    let b = st.basis.(i) in
+    let consider t at_upper =
+      let better =
+        t < !limit -. 1e-12
+        (* tie-break on smaller basis index to curb cycling *)
+        || (t <= !limit +. 1e-12 && !leave >= 0 && b < st.basis.(!leave))
+      in
+      if better then begin
+        limit := min t !limit;
+        leave := i;
+        leave_at_upper := at_upper
+      end
+    in
+    if d > eps_pivot then
+      (* basic variable decreases towards its lower bound *)
+      consider ((st.xb.(i) -. st.lower.(b)) /. d) false
+    else if d < -.eps_pivot && st.upper.(b) < infinity then
+      (* basic variable increases towards its upper bound *)
+      consider ((st.upper.(b) -. st.xb.(i)) /. -.d) true
+  done;
+  if !limit = infinity then `Unbounded
+  else begin
+    let t = max 0. !limit in
+    if !leave = -1 then begin
+      (* bound flip: the entering variable traverses to its other bound *)
+      for i = 0 to st.m - 1 do
+        st.xb.(i) <- st.xb.(i) -. (dir i *. t)
+      done;
+      st.status.(j) <- (if increasing then At_upper else At_lower);
+      `Progress
+    end
+    else begin
+      let r = !leave in
+      let enter_value = if increasing then st.lower.(j) +. t else st.upper.(j) -. t in
+      for i = 0 to st.m - 1 do
+        if i <> r then st.xb.(i) <- st.xb.(i) -. (dir i *. t)
+      done;
+      let old_basic = st.basis.(r) in
+      st.status.(old_basic) <- (if !leave_at_upper then At_upper else At_lower);
+      st.basis.(r) <- j;
+      st.status.(j) <- Basic;
+      st.xb.(r) <- enter_value;
+      (* eliminate column j from other rows and the cost row *)
+      let prow = st.tab.(r) in
+      let pivot = prow.(j) in
+      if abs_float pivot < eps_pivot then failwith "Simplex: numerically singular pivot";
+      for k = 0 to st.n - 1 do
+        prow.(k) <- prow.(k) /. pivot
+      done;
+      for i = 0 to st.m - 1 do
+        if i <> r then begin
+          let row = st.tab.(i) in
+          let factor = row.(j) in
+          if factor <> 0. then
+            for k = 0 to st.n - 1 do
+              row.(k) <- row.(k) -. (factor *. prow.(k))
+            done
+        end
+      done;
+      let factor = st.red.(j) in
+      if factor <> 0. then
+        for k = 0 to st.n - 1 do
+          st.red.(k) <- st.red.(k) -. (factor *. prow.(k))
+        done;
+      `Progress
+    end
+  end
+
+let optimize st ~c ~max_iters ~frozen =
+  recompute_reduced st c;
+  let iters = ref 0 in
+  let bland_after = max 200 (4 * (st.m + st.n)) in
+  let rec loop () =
+    if !iters > max_iters then failwith "Simplex: iteration limit exceeded";
+    let bland = !iters > bland_after in
+    let j = choose_entering st ~bland ~frozen in
+    if j < 0 then `Optimal
+    else begin
+      incr iters;
+      match iterate st j with
+      | `Unbounded -> `Unbounded
+      | `Progress -> loop ()
+    end
+  in
+  loop ()
+
+let objective_of st c =
+  let total = ref 0. in
+  for i = 0 to st.m - 1 do
+    total := !total +. (c.(st.basis.(i)) *. st.xb.(i))
+  done;
+  for j = 0 to st.n - 1 do
+    if st.status.(j) <> Basic then total := !total +. (c.(j) *. nonbasic_value st j)
+  done;
+  !total
+
+let values_of st n_structural =
+  let x = Array.make n_structural 0. in
+  for j = 0 to n_structural - 1 do
+    if st.status.(j) <> Basic then x.(j) <- nonbasic_value st j
+  done;
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) < n_structural then x.(st.basis.(i)) <- st.xb.(i)
+  done;
+  x
+
+(* After phase 1, pivot any artificial still in the basis out (its value is
+   ~0); if its row has no usable structural pivot the row is redundant and
+   is neutralised by keeping the artificial basic at zero but frozen. *)
+let expel_artificials st ~n_structural =
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) >= n_structural then begin
+      let row = st.tab.(i) in
+      let j = ref (-1) in
+      let k = ref 0 in
+      while !j < 0 && !k < n_structural do
+        if st.status.(!k) <> Basic && abs_float row.(!k) > 1e-6 then j := !k;
+        incr k
+      done;
+      if !j >= 0 then begin
+        let enter = !j in
+        let pivot = row.(enter) in
+        for x = 0 to st.n - 1 do
+          row.(x) <- row.(x) /. pivot
+        done;
+        for r = 0 to st.m - 1 do
+          if r <> i then begin
+            let other = st.tab.(r) in
+            let factor = other.(enter) in
+            if factor <> 0. then
+              for x = 0 to st.n - 1 do
+                other.(x) <- other.(x) -. (factor *. row.(x))
+              done
+          end
+        done;
+        (* the artificial being expelled is at ~0, so the entering variable
+           keeps the bound value it currently has *)
+        let enter_value = nonbasic_value st enter in
+        let old = st.basis.(i) in
+        st.status.(old) <- At_lower;
+        st.basis.(i) <- enter;
+        st.status.(enter) <- Basic;
+        st.xb.(i) <- enter_value
+      end
+    end
+  done
+
+let solve ?max_iters ~a ~b ~c ~lower ~upper () =
+  let m = Array.length a in
+  let n_structural = Array.length c in
+  Array.iter (fun row ->
+      if Array.length row <> n_structural then invalid_arg "Simplex.solve: ragged matrix")
+    a;
+  if Array.length lower <> n_structural || Array.length upper <> n_structural then
+    invalid_arg "Simplex.solve: bound length mismatch";
+  for j = 0 to n_structural - 1 do
+    if not (Float.is_finite lower.(j)) then invalid_arg "Simplex.solve: infinite lower bound";
+    if upper.(j) < lower.(j) -. 1e-12 then invalid_arg "Simplex.solve: crossed bounds"
+  done;
+  let n = n_structural + m in
+  let max_iters = match max_iters with Some k -> k | None -> max 20_000 (200 * (m + n)) in
+  (* residual of each row with structural variables at their lower bounds *)
+  let residual i =
+    let row = a.(i) in
+    let acc = ref b.(i) in
+    for j = 0 to n_structural - 1 do
+      acc := !acc -. (row.(j) *. lower.(j))
+    done;
+    !acc
+  in
+  let tab =
+    Array.init m (fun i ->
+        let row = Array.make n 0. in
+        let sign = if residual i < 0. then -1. else 1. in
+        for j = 0 to n_structural - 1 do
+          row.(j) <- sign *. a.(i).(j)
+        done;
+        row.(n_structural + i) <- 1.;
+        row)
+  in
+  let xb = Array.init m (fun i -> abs_float (residual i)) in
+  let basis = Array.init m (fun i -> n_structural + i) in
+  let status = Array.init n (fun j -> if j < n_structural then At_lower else Basic) in
+  let art_lower = Array.make m 0. in
+  let art_upper = Array.make m infinity in
+  let st =
+    {
+      m;
+      n;
+      tab;
+      xb;
+      basis;
+      status;
+      lower = Array.append lower art_lower;
+      upper = Array.append upper art_upper;
+      red = Array.make n 0.;
+    }
+  in
+  (* Phase 1: minimise the sum of artificials. *)
+  let phase1_cost = Array.init n (fun j -> if j >= n_structural then 1. else 0.) in
+  (match optimize st ~c:phase1_cost ~max_iters ~frozen:(fun _ -> false) with
+   | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
+   | `Optimal -> ());
+  if objective_of st phase1_cost > 1e-6 then Infeasible
+  else begin
+    expel_artificials st ~n_structural;
+    (* Phase 2: real objective; artificial columns are frozen out. *)
+    let phase2_cost = Array.init n (fun j -> if j < n_structural then c.(j) else 0.) in
+    let frozen j = j >= n_structural in
+    match optimize st ~c:phase2_cost ~max_iters ~frozen with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let values = values_of st n_structural in
+      let objective = ref 0. in
+      for j = 0 to n_structural - 1 do
+        objective := !objective +. (c.(j) *. values.(j))
+      done;
+      Optimal { objective = !objective; values }
+  end

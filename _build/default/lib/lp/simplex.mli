@@ -1,0 +1,32 @@
+(** Dense two-phase primal simplex for linear programs in computational
+    standard form
+
+    {v minimize c·x  subject to  A x = b,  l <= x <= u v}
+
+    with finite lower bounds and possibly infinite upper bounds.  Nonbasic
+    variables rest at one of their bounds (bounded-variable simplex), so 0-1
+    relaxations need no explicit bound rows.
+
+    Anti-cycling: Dantzig pricing normally, switching to Bland's rule after
+    a stall budget is exhausted. *)
+
+type result =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?max_iters:int ->
+  a:float array array ->
+  b:float array ->
+  c:float array ->
+  lower:float array ->
+  upper:float array ->
+  unit ->
+  result
+(** [solve ~a ~b ~c ~lower ~upper ()] minimises [c·x] subject to [a x = b]
+    and [lower <= x <= upper].  [a] is row-major, one inner array per
+    constraint.  All rows must have the same width as [c], [lower] and
+    [upper].  [upper.(j)] may be [infinity]; lower bounds must be finite.
+    [max_iters] bounds total pivots (default scales with problem size);
+    exceeding it raises [Failure]. *)

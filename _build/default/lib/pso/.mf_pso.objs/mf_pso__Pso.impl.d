@@ -1,0 +1,1 @@
+lib/pso/pso.ml: Array List Mf_util

@@ -1,0 +1,1 @@
+lib/pso/pso.mli: Mf_util

@@ -1,0 +1,85 @@
+module Rng = Mf_util.Rng
+
+type params = {
+  particles : int;
+  iterations : int;
+  omega : float;
+  c1 : float;
+  c2 : float;
+  v_max : float;
+}
+
+let default_params =
+  { particles = 5; iterations = 100; omega = 0.72; c1 = 1.49; c2 = 1.49; v_max = 0.5 }
+
+type outcome = {
+  best_position : float array;
+  best_fitness : float;
+  trace : float list;
+  evaluations : int;
+}
+
+type particle = {
+  x : float array;
+  v : float array;
+  mutable p_best : float array;
+  mutable p_fit : float;
+}
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let run ?(params = default_params) ~rng ~dim ~fitness () =
+  if dim <= 0 then invalid_arg "Pso.run: dim must be positive";
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    fitness x
+  in
+  let make_particle () =
+    let x = Array.init dim (fun _ -> Rng.uniform rng) in
+    let v = Array.init dim (fun _ -> (Rng.uniform rng -. 0.5) *. params.v_max) in
+    let fit = eval x in
+    { x; v; p_best = Array.copy x; p_fit = fit }
+  in
+  let swarm = Array.init params.particles (fun _ -> make_particle ()) in
+  let g_best = ref (Array.copy swarm.(0).p_best) in
+  let g_fit = ref swarm.(0).p_fit in
+  Array.iter
+    (fun p ->
+      if p.p_fit < !g_fit then begin
+        g_fit := p.p_fit;
+        g_best := Array.copy p.p_best
+      end)
+    swarm;
+  let trace = ref [] in
+  for _iter = 1 to params.iterations do
+    Array.iter
+      (fun p ->
+        for d = 0 to dim - 1 do
+          let r1 = Rng.uniform rng and r2 = Rng.uniform rng in
+          let v =
+            (params.omega *. p.v.(d))
+            +. (params.c1 *. r1 *. (p.p_best.(d) -. p.x.(d)))
+            +. (params.c2 *. r2 *. (!g_best.(d) -. p.x.(d)))
+          in
+          p.v.(d) <- clamp (-.params.v_max) params.v_max v;
+          p.x.(d) <- clamp 0. 1. (p.x.(d) +. p.v.(d))
+        done;
+        let fit = eval p.x in
+        if fit < p.p_fit then begin
+          p.p_fit <- fit;
+          p.p_best <- Array.copy p.x
+        end;
+        if fit < !g_fit then begin
+          g_fit := fit;
+          g_best := Array.copy p.x
+        end)
+      swarm;
+    trace := !g_fit :: !trace
+  done;
+  {
+    best_position = !g_best;
+    best_fitness = !g_fit;
+    trace = List.rev !trace;
+    evaluations = !evaluations;
+  }

@@ -1,0 +1,44 @@
+(** Particle swarm optimization (Kennedy–Eberhart), the search engine of the
+    paper's two-level codesign (Sec. 4.2, updates (7)–(8)).
+
+    Positions are continuous vectors in a box; callers decode them into the
+    discrete structures they search over (edge selections, sharing
+    assignments).  The update uses the conventional attractive form
+    [v ← ω v + c₁ r₁ (p_best − x) + c₂ r₂ (g_best − x)] (the paper's (7)
+    prints the differences reversed, which would repel particles from the
+    best positions; we use the canonical orientation).
+
+    Fitness is minimised; [infinity] marks an invalid position (a sharing
+    scheme that fails validation). *)
+
+type params = {
+  particles : int;
+  iterations : int;
+  omega : float;  (** inertia *)
+  c1 : float;  (** cognitive coefficient *)
+  c2 : float;  (** social coefficient *)
+  v_max : float;  (** velocity clamp, as a fraction of the box width *)
+}
+
+val default_params : params
+(** 5 particles, 100 iterations, ω = 0.72, c₁ = c₂ = 1.49 — the paper's
+    swarm size with standard constriction-style coefficients. *)
+
+type outcome = {
+  best_position : float array;
+  best_fitness : float;
+  trace : float list;  (** global best fitness after each iteration (Fig. 9) *)
+  evaluations : int;
+}
+
+val run :
+  ?params:params ->
+  rng:Mf_util.Rng.t ->
+  dim:int ->
+  fitness:(float array -> float) ->
+  unit ->
+  outcome
+(** Search the box [\[0,1\]^dim].  [fitness] is called on decoded-by-caller
+    positions; it must be deterministic for reproducibility.  If every
+    evaluation returns [infinity] the outcome's [best_fitness] is
+    [infinity] and [best_position] is the last particle examined. *)

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Fmt Mf_bioassay Printf

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Fmt Format Fun List Mf_arch Mf_bioassay Mf_graph Mf_grid Mf_util Option Printf Schedule Sys

@@ -1,0 +1,1 @@
+lib/sched/scheduler.mli: Mf_arch Mf_bioassay Schedule

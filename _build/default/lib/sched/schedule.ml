@@ -1,0 +1,30 @@
+type event =
+  | Op_started of { op : int; device : int; time : int }
+  | Op_finished of { op : int; device : int; time : int }
+  | Transport_started of { unit_id : int; path : int list; time : int; finish : int }
+  | Unit_stored of { unit_id : int; edge : int; time : int }
+  | Unit_parked of { unit_id : int; port_node : int; time : int }
+
+type t = {
+  makespan : int;
+  events : event list;
+  n_transports : int;
+  transport_time : int;
+  n_stored : int;
+  n_washes : int;
+}
+
+type failure =
+  | Deadlock of int
+  | Timeout of int
+  | No_device of Mf_bioassay.Op.kind
+
+let pp_failure ppf = function
+  | Deadlock t -> Fmt.pf ppf "deadlock at t=%d" t
+  | Timeout t -> Fmt.pf ppf "timeout at t=%d" t
+  | No_device k -> Fmt.pf ppf "no device can execute %s operations" (Mf_bioassay.Op.kind_name k)
+
+let pp ppf t =
+  Fmt.pf ppf "makespan=%ds transports=%d (%ds) stored=%d%s" t.makespan t.n_transports
+    t.transport_time t.n_stored
+    (if t.n_washes = 0 then "" else Printf.sprintf " washes=%d" t.n_washes)

@@ -1,0 +1,32 @@
+(** Schedule results: what the scheduler produced and why it may have
+    failed.  Times are integer ticks (1 tick = 1 s). *)
+
+type event =
+  | Op_started of { op : int; device : int; time : int }
+  | Op_finished of { op : int; device : int; time : int }
+  | Transport_started of {
+      unit_id : int;
+      path : int list;  (** channel edges traversed *)
+      time : int;
+      finish : int;
+    }
+  | Unit_stored of { unit_id : int; edge : int; time : int }
+  | Unit_parked of { unit_id : int; port_node : int; time : int }
+      (** evicted off-chip into a port vial (last-resort storage) *)
+
+type t = {
+  makespan : int;
+  events : event list;  (** chronological *)
+  n_transports : int;
+  transport_time : int;  (** summed transport durations *)
+  n_stored : int;  (** evictions into channel storage *)
+  n_washes : int;  (** contaminated segments flushed (0 unless washing on) *)
+}
+
+type failure =
+  | Deadlock of int  (** no progress possible at this tick *)
+  | Timeout of int  (** exceeded the configured horizon *)
+  | No_device of Mf_bioassay.Op.kind  (** chip lacks a device class *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,738 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Bitset = Mf_util.Bitset
+module Op = Mf_bioassay.Op
+module Seqgraph = Mf_bioassay.Seqgraph
+
+type options = {
+  respect_sharing : bool;
+  transport_cost : int;
+  allow_storage : bool;
+  horizon : int;
+  wash : bool;
+  wash_penalty : int;
+}
+
+let default_options =
+  {
+    respect_sharing = true;
+    transport_cost = 1;
+    allow_storage = true;
+    horizon = 1_000_000;
+    wash = false;
+    wash_penalty = 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mutable run state *)
+
+type unit_loc =
+  | Fresh  (** reagent available at every port *)
+  | At_device of int
+  | Stored of int  (** channel edge *)
+  | At_reservoir of int  (** parked off-chip in the vial of a port (node id) *)
+  | In_transit
+  | Consumed
+
+type unit_state = {
+  u_id : int;
+  producer : int option;  (** producing op, [None] for fresh reagents *)
+  consumer : int;
+  mutable loc : unit_loc;
+}
+
+type device_run = Idle | Running of int * int  (** op, finish time *)
+
+type dev = {
+  d_id : int;
+  d_kind : Chip.device_kind;
+  d_node : int;
+  mutable d_run : device_run;
+  mutable reserved_by : int option;
+}
+
+type dest = To_device of int | To_storage of int | To_reservoir of int
+
+type transport = {
+  t_unit : int;
+  t_path : int list;  (** channel edges, in travel order *)
+  t_nodes : int list;  (** nodes visited, including both ends *)
+  t_dest : dest;
+  t_finish : int;
+}
+
+type state = {
+  chip : Chip.t;
+  g : Graph.t;
+  channels : Bitset.t;
+  app : Seqgraph.t;
+  opts : options;
+  devs : dev array;
+  units : unit_state array;
+  inputs_of : int list array;  (** op -> unit ids it consumes *)
+  outputs_of : int list array;  (** op -> unit ids it produces *)
+  op_bound : int option array;
+  op_started : bool array;
+  op_finished : bool array;
+  op_finish_time : int array;
+  mutable transports : transport list;
+  mutable events : Schedule.event list;  (** reversed *)
+  mutable n_transports : int;
+  mutable transport_time : int;
+  mutable n_stored : int;
+  mutable n_washes : int;
+  last_user : int array;  (** edge -> lineage of the last fluid through it *)
+  priority : int list;  (** topological op order *)
+  port_nodes : int list;
+}
+
+(* Residue identity of a unit: its producing operation, or a unique negative
+   tag for fresh reagents (each root draws a distinct reagent). *)
+let lineage (u : unit_state) =
+  match u.producer with Some p -> p | None -> -(u.consumer + 2)
+
+let device_kind_of_op = function
+  | Op.Mix -> Chip.Mixer
+  | Op.Detect -> Chip.Detector
+  | Op.Heat -> Chip.Heater
+  | Op.Filter -> Chip.Filter
+
+let init chip app opts =
+  let devs =
+    Array.map
+      (fun (d : Chip.device) ->
+        { d_id = d.device_id; d_kind = d.kind; d_node = d.node; d_run = Idle; reserved_by = None })
+      (Chip.devices chip)
+  in
+  let n = Seqgraph.n_ops app in
+  let units = ref [] in
+  let next_unit = ref 0 in
+  let inputs_of = Array.make n [] in
+  let outputs_of = Array.make n [] in
+  for j = 0 to n - 1 do
+    match Seqgraph.preds app j with
+    | [] ->
+      let u = { u_id = !next_unit; producer = None; consumer = j; loc = Fresh } in
+      incr next_unit;
+      units := u :: !units;
+      inputs_of.(j) <- [ u.u_id ]
+    | preds ->
+      List.iter
+        (fun p ->
+          let u = { u_id = !next_unit; producer = Some p; consumer = j; loc = Consumed } in
+          (* loc becomes At_device when the producer finishes; Consumed is a
+             safe placeholder meaning "not yet materialised" *)
+          incr next_unit;
+          units := u :: !units;
+          inputs_of.(j) <- inputs_of.(j) @ [ u.u_id ];
+          outputs_of.(p) <- outputs_of.(p) @ [ u.u_id ])
+        preds
+  done;
+  {
+    chip;
+    g = Grid.graph (Chip.grid chip);
+    channels = Chip.channel_edges chip;
+    app;
+    opts;
+    devs;
+    units = Array.of_list (List.rev !units);
+    inputs_of;
+    outputs_of;
+    op_bound = Array.make n None;
+    op_started = Array.make n false;
+    op_finished = Array.make n false;
+    op_finish_time = Array.make n 0;
+    transports = [];
+    events = [];
+    n_transports = 0;
+    transport_time = 0;
+    n_stored = 0;
+    n_washes = 0;
+    last_user = Array.make (Graph.n_edges (Grid.graph (Chip.grid chip))) min_int;
+    priority =
+      (* sinks first: finishing them consumes fluids without producing new
+         ones, releasing devices and storage for everything else *)
+      (let topo = Seqgraph.topological app in
+       let sinks, inner = List.partition (fun j -> Seqgraph.succs app j = []) topo in
+       sinks @ inner);
+    port_nodes = Array.to_list (Chip.ports chip) |> List.map (fun (p : Chip.port) -> p.node);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy *)
+
+let units_at_device st d_id =
+  Array.to_list st.units |> List.filter (fun u -> u.loc = At_device d_id)
+
+(* Units already at the device plus those in transit towards it: binding and
+   clearance decisions must see inbound fluids, or an op can claim a chamber
+   that a parked unit is about to enter. *)
+let units_at_or_heading st d_id =
+  let inbound =
+    List.filter_map
+      (fun tr ->
+        match tr.t_dest with
+        | To_device d when d = d_id -> Some st.units.(tr.t_unit)
+        | To_device _ | To_storage _ | To_reservoir _ -> None)
+      st.transports
+  in
+  units_at_device st d_id @ inbound
+
+let storage_edges st =
+  let arrived =
+    Array.to_list st.units
+    |> List.filter_map (fun u ->
+        match u.loc with
+        | Stored e -> Some e
+        | Fresh | At_device _ | At_reservoir _ | In_transit | Consumed -> None)
+  in
+  (* pockets already claimed by in-flight evictions count as occupied, or
+     two placements can jointly sever the network *)
+  let planned =
+    List.filter_map
+      (fun tr ->
+        match tr.t_dest with
+        | To_storage e -> Some e
+        | To_device _ | To_reservoir _ -> None)
+      st.transports
+  in
+  arrived @ planned
+
+(* Nodes that resting fluids and busy devices make untouchable. *)
+let occupied_nodes st =
+  let set = Bitset.create (Graph.n_nodes st.g) in
+  Array.iter
+    (fun d ->
+      let busy =
+        match d.d_run with Running _ -> true | Idle -> units_at_device st d.d_id <> []
+      in
+      if busy then Bitset.add set d.d_node)
+    st.devs;
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints st.g e in
+      Bitset.add set u;
+      Bitset.add set v)
+    (storage_edges st);
+  set
+
+let transport_edge_set st extra_path =
+  let set = Bitset.create (Graph.n_edges st.g) in
+  List.iter (fun tr -> List.iter (Bitset.add set) tr.t_path) st.transports;
+  List.iter (Bitset.add set) extra_path;
+  set
+
+let transport_node_set st extra_nodes =
+  let set = Bitset.create (Graph.n_nodes st.g) in
+  List.iter (fun tr -> List.iter (Bitset.add set) tr.t_nodes) st.transports;
+  List.iter (Bitset.add set) extra_nodes;
+  set
+
+(* Valve-sharing legality (Sec. 4.1): with the candidate path's control
+   lines released on top of those of in-flight transports, every valve
+   forced open off-path must not border a resting fluid, a busy device or
+   any transport's route. *)
+let sharing_legal st ~path ~nodes =
+  if not st.opts.respect_sharing then true
+  else begin
+    let inactive = Bitset.create (Chip.n_controls st.chip) in
+    let release_path edges =
+      List.iter
+        (fun e ->
+          match Chip.valve_on st.chip e with
+          | Some v -> Bitset.add inactive v.control
+          | None -> ())
+        edges
+    in
+    release_path path;
+    List.iter (fun tr -> release_path tr.t_path) st.transports;
+    let moving_edges = transport_edge_set st path in
+    let protected_nodes =
+      let set = occupied_nodes st in
+      Bitset.union_into set (transport_node_set st nodes);
+      set
+    in
+    Array.for_all
+      (fun (v : Chip.valve) ->
+        (not (Bitset.mem inactive v.control))
+        || Bitset.mem moving_edges v.edge
+        ||
+        let a, b = Graph.endpoints st.g v.edge in
+        (not (Bitset.mem protected_nodes a)) && not (Bitset.mem protected_nodes b))
+      (Chip.valves st.chip)
+  end
+
+(* BFS routing from any of [srcs] to [dst] through free channels avoiding
+   occupied nodes; returns (src, edge path). *)
+let route st ~srcs ~dst =
+  let occupied = occupied_nodes st in
+  let moving_edges = transport_edge_set st [] in
+  let moving_nodes = transport_node_set st [] in
+  let node_ok n =
+    n = dst || List.mem n srcs
+    || ((not (Bitset.mem occupied n)) && not (Bitset.mem moving_nodes n))
+  in
+  let storage = storage_edges st in
+  let edge_ok e =
+    Bitset.mem st.channels e
+    && (not (Bitset.mem moving_edges e))
+    && (not (List.mem e storage))
+    &&
+    let u, v = Graph.endpoints st.g e in
+    node_ok u && node_ok v
+  in
+  let best = ref None in
+  List.iter
+    (fun src ->
+      if node_ok src then
+        match Mf_graph.Traverse.bfs_path st.g ~allowed:edge_ok ~src ~dst with
+        | None -> ()
+        | Some path ->
+          let len = List.length path in
+          (match !best with
+           | Some (_, _, l) when l <= len -> ()
+           | Some _ | None -> best := Some (src, path, len)))
+    srcs;
+  Option.map (fun (src, path, _) -> (src, path)) !best
+
+let push_event st ev = st.events <- ev :: st.events
+
+let begin_transport st time u ~src ~path ~dest =
+  let nodes = Mf_graph.Traverse.path_nodes st.g ~src path in
+  if not (sharing_legal st ~path ~nodes) then false
+  else begin
+    (* cross-contamination washing: flush segments whose residue belongs to
+       a different sample before this one crosses them *)
+    let me = lineage u in
+    let dirty =
+      if not st.opts.wash then 0
+      else
+        List.fold_left
+          (fun acc e ->
+            if st.last_user.(e) <> min_int && st.last_user.(e) <> me then acc + 1 else acc)
+          0 path
+    in
+    if st.opts.wash then begin
+      st.n_washes <- st.n_washes + dirty;
+      List.iter (fun e -> st.last_user.(e) <- me) path
+    end;
+    let duration = (List.length path * st.opts.transport_cost) + (dirty * st.opts.wash_penalty) in
+    u.loc <- In_transit;
+    let finish = time + duration in
+    st.transports <- { t_unit = u.u_id; t_path = path; t_nodes = nodes; t_dest = dest; t_finish = finish } :: st.transports;
+    st.n_transports <- st.n_transports + 1;
+    st.transport_time <- st.transport_time + duration;
+    push_event st (Schedule.Transport_started { unit_id = u.u_id; path; time; finish });
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Storage eviction *)
+
+let storage_site st ~from_node =
+  let occupied = occupied_nodes st in
+  let moving_edges = transport_edge_set st [] in
+  let moving_nodes = transport_node_set st [] in
+  let storage = storage_edges st in
+  let plain_node n =
+    (not (Bitset.mem occupied n))
+    && (not (Bitset.mem moving_nodes n))
+    && Chip.device_at st.chip n = None
+    && Chip.port_at st.chip n = None
+  in
+  let node_ok n = n = from_node || plain_node n in
+  let edge_ok e =
+    Bitset.mem st.channels e
+    && (not (Bitset.mem moving_edges e))
+    && (not (List.mem e storage))
+    &&
+    let u, v = Graph.endpoints st.g e in
+    node_ok u && node_ok v
+  in
+  (* a storage edge must be enclosed by valves so the fluid can be held *)
+  let enclosed e =
+    let u, v = Graph.endpoints st.g e in
+    let boundary n =
+      Graph.incident st.g n
+      |> List.for_all (fun (f, _) ->
+          f = e || (not (Bitset.mem st.channels f))
+          || Chip.valve_on st.chip f <> None)
+    in
+    boundary u && boundary v
+  in
+  (* Occupying a site blocks its endpoints until the fluid leaves; never
+     pick one that would cut any device or port off from the rest.  Only
+     persistent blockage (stored fluids) counts: busy devices free up on
+     their own, but they must still be reachable afterwards, so every hub
+     stays in the requirement. *)
+  let keeps_network_connected e =
+    let storage_blocked = Bitset.create (Graph.n_nodes st.g) in
+    let block f =
+      let u, v = Graph.endpoints st.g f in
+      Bitset.add storage_blocked u;
+      Bitset.add storage_blocked v
+    in
+    block e;
+    List.iter block storage;
+    let open_edge f =
+      Bitset.mem st.channels f
+      && f <> e
+      && (not (List.mem f storage))
+      &&
+      let u, v = Graph.endpoints st.g f in
+      (not (Bitset.mem storage_blocked u)) && not (Bitset.mem storage_blocked v)
+    in
+    let hubs =
+      st.port_nodes @ (Array.to_list st.devs |> List.map (fun d -> d.d_node))
+      |> List.filter (fun n -> not (Bitset.mem storage_blocked n))
+    in
+    match hubs with
+    | [] -> false
+    | hub :: rest ->
+      let reach = Mf_graph.Traverse.reachable st.g ~allowed:open_edge ~src:hub in
+      List.for_all (fun n -> Bitset.mem reach n) rest
+  in
+  (* The parked fluid must stay retrievable even while every device is busy:
+     some route from the pocket to a port may not pass through any device
+     node, or the fluid can be walled in by long-running neighbours. *)
+  let egress_ok e =
+    let eu, ev = Graph.endpoints st.g e in
+    let device n = Chip.device_at st.chip n <> None in
+    let open_edge f =
+      f <> e
+      && Bitset.mem st.channels f
+      && (not (List.mem f storage))
+      &&
+      let u, v = Graph.endpoints st.g f in
+      let ok n = n = eu || n = ev || not (device n) in
+      ok u && ok v
+    in
+    let reach = Mf_graph.Traverse.reachable st.g ~allowed:open_edge ~src:eu in
+    List.exists (fun p -> Bitset.mem reach p) st.port_nodes
+  in
+  (* BFS for the nearest suitable edge: walk outward and take the first
+     reachable edge that qualifies *)
+  let dist = Mf_graph.Traverse.bfs_dist st.g ~allowed:edge_ok ~src:from_node in
+  let best = ref None in
+  Graph.iter_edges
+    (fun e u v ->
+      if
+        edge_ok e && enclosed e && u <> from_node && v <> from_node
+        && plain_node u && plain_node v
+        && keeps_network_connected e && egress_ok e
+      then begin
+        let d = min dist.(u) dist.(v) in
+        if d < max_int then
+          match !best with
+          | Some (_, bd) when bd <= d -> ()
+          | Some _ | None -> best := Some (e, d)
+      end)
+    st.g;
+  match !best with
+  | None -> None
+  | Some (e, _) ->
+    let u, v = Graph.endpoints st.g e in
+    let target = if dist.(u) <= dist.(v) then u else v in
+    (match Mf_graph.Traverse.bfs_path st.g ~allowed:edge_ok ~src:from_node ~dst:target with
+     | None -> None
+     | Some path -> Some (e, path @ [ e ]))
+
+let try_evict st time d =
+  match units_at_device st d.d_id with
+  | [] -> false
+  | u :: _ ->
+    if not st.opts.allow_storage then false
+    else begin
+      let to_pocket () =
+        match storage_site st ~from_node:d.d_node with
+        | None -> false
+        | Some (edge, path) ->
+          let ok = begin_transport st time u ~src:d.d_node ~path ~dest:(To_storage edge) in
+          if ok then st.n_stored <- st.n_stored + 1;
+          ok
+      in
+      (* fall back to parking in an idle, empty, unreserved device: chambers
+         double as storage when the channel pockets are full ([5]) *)
+      let to_device () =
+        let kind_count k =
+          Array.fold_left (fun n d' -> if d'.d_kind = k then n + 1 else n) 0 st.devs
+        in
+        Array.to_list st.devs
+        |> List.filter (fun d' ->
+            d'.d_id <> d.d_id && d'.d_run = Idle && d'.reserved_by = None
+            && units_at_or_heading st d'.d_id = []
+            (* never park in the only device of a kind: operations of that
+               kind would wait behind the parked fluid, a circular-wait
+               recipe *)
+            && kind_count d'.d_kind > 1)
+        |> List.exists (fun d' ->
+            match route st ~srcs:[ d.d_node ] ~dst:d'.d_node with
+            | None | Some (_, []) -> false
+            | Some (src, path) ->
+              let ok = begin_transport st time u ~src ~path ~dest:(To_device d'.d_id) in
+              if ok then st.n_stored <- st.n_stored + 1;
+              ok)
+      in
+      (* last resort: push the sample off-chip into a port vial (one fluid
+         per port); the round trip is paid in transport time *)
+      let to_reservoir () =
+        let occupied_ports =
+          (Array.to_list st.units
+          |> List.filter_map (fun u ->
+              match u.loc with
+              | At_reservoir n -> Some n
+              | Fresh | At_device _ | Stored _ | In_transit | Consumed -> None))
+          @ List.filter_map
+              (fun tr ->
+                match tr.t_dest with
+                | To_reservoir n -> Some n
+                | To_device _ | To_storage _ -> None)
+              st.transports
+        in
+        st.port_nodes
+        |> List.filter (fun n -> not (List.mem n occupied_ports))
+        |> List.exists (fun n ->
+            match route st ~srcs:[ d.d_node ] ~dst:n with
+            | None | Some (_, []) -> false
+            | Some (src, path) ->
+              let ok = begin_transport st time u ~src ~path ~dest:(To_reservoir n) in
+              if ok then st.n_stored <- st.n_stored + 1;
+              ok)
+      in
+      to_pocket () || to_device () || to_reservoir ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Op advancement *)
+
+let unit_source_nodes st u =
+  match u.loc with
+  | Fresh -> st.port_nodes
+  | At_device d -> [ st.devs.(d).d_node ]
+  | Stored e ->
+    let a, b = Graph.endpoints st.g e in
+    [ a; b ]
+  | At_reservoir n -> [ n ]
+  | In_transit | Consumed -> []
+
+let clear_for st j d =
+  List.for_all (fun u -> List.mem u.u_id st.inputs_of.(j)) (units_at_or_heading st d.d_id)
+
+let bind st j =
+  match st.op_bound.(j) with
+  | Some d -> Some st.devs.(d)
+  | None ->
+    let kind = device_kind_of_op (Seqgraph.op st.app j).kind in
+    let candidates =
+      Array.to_list st.devs
+      |> List.filter (fun d -> d.d_kind = kind && d.d_run = Idle && d.reserved_by = None)
+    in
+    let holds_input d =
+      List.exists (fun u -> List.mem u.u_id st.inputs_of.(j)) (units_at_or_heading st d.d_id)
+    in
+    let score d =
+      if holds_input d && clear_for st j d then 0
+      else if units_at_or_heading st d.d_id = [] then 1
+      else 2 (* needs eviction *)
+    in
+    let sorted = List.sort (fun a b -> compare (score a, a.d_id) (score b, b.d_id)) candidates in
+    (match sorted with
+     | d :: _ when score d <= 1 ->
+       st.op_bound.(j) <- Some d.d_id;
+       d.reserved_by <- Some j;
+       Some d
+     | _ -> None)
+
+(* Returns true when any state change happened for op [j]. *)
+let try_advance_op st time j =
+  match bind st j with
+  | None ->
+    (* all compatible devices blocked: try freeing one by eviction *)
+    let kind = device_kind_of_op (Seqgraph.op st.app j).kind in
+    Array.to_list st.devs
+    |> List.exists (fun d ->
+        d.d_kind = kind && d.d_run = Idle && d.reserved_by = None
+        && (not (clear_for st j d))
+        && try_evict st time d)
+  | Some d ->
+    let changed = ref false in
+    let all_arrived = ref true in
+    List.iter
+      (fun u_id ->
+        let u = st.units.(u_id) in
+        match u.loc with
+        | At_device dd when dd = d.d_id -> ()
+        | In_transit -> all_arrived := false
+        | Fresh | At_device _ | Stored _ | At_reservoir _ ->
+          all_arrived := false;
+          let srcs = unit_source_nodes st u in
+          (match route st ~srcs ~dst:d.d_node with
+           | None -> ()
+           | Some (src, []) ->
+             ignore src;
+             (* already adjacent: the unit sits on a storage edge touching
+                the device, or a port shares the node — arrive instantly *)
+             u.loc <- At_device d.d_id;
+             changed := true
+           | Some (src, path) ->
+             if begin_transport st time u ~src ~path ~dest:(To_device d.d_id) then
+               changed := true)
+        | Consumed -> all_arrived := false (* producer not finished: unreachable here *))
+      st.inputs_of.(j);
+    if !all_arrived && clear_for st j d then begin
+      List.iter (fun u_id -> st.units.(u_id).loc <- Consumed) st.inputs_of.(j);
+      let op = Seqgraph.op st.app j in
+      d.d_run <- Running (j, time + op.duration);
+      d.reserved_by <- None;
+      st.op_started.(j) <- true;
+      push_event st (Schedule.Op_started { op = j; device = d.d_id; time });
+      changed := true
+    end;
+    !changed
+
+let try_progress st time =
+  let changed = ref false in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    List.iter
+      (fun j ->
+        if
+          (not st.op_started.(j))
+          && List.for_all (fun p -> st.op_finished.(p)) (Seqgraph.preds st.app j)
+          && try_advance_op st time j
+        then begin
+          changed := true;
+          continue := true
+        end)
+      st.priority
+  done;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Completions *)
+
+let complete_at st time =
+  (* transports first: arriving fluids may unblock the ops finishing now *)
+  let arriving, still = List.partition (fun tr -> tr.t_finish = time) st.transports in
+  st.transports <- still;
+  List.iter
+    (fun tr ->
+      let u = st.units.(tr.t_unit) in
+      match tr.t_dest with
+      | To_device d -> u.loc <- At_device d
+      | To_storage e ->
+        u.loc <- Stored e;
+        push_event st (Schedule.Unit_stored { unit_id = u.u_id; edge = e; time })
+      | To_reservoir n ->
+        u.loc <- At_reservoir n;
+        push_event st (Schedule.Unit_parked { unit_id = u.u_id; port_node = n; time }))
+    arriving;
+  Array.iter
+    (fun d ->
+      match d.d_run with
+      | Running (j, finish) when finish = time ->
+        d.d_run <- Idle;
+        st.op_finished.(j) <- true;
+        st.op_finish_time.(j) <- time;
+        List.iter (fun u_id -> st.units.(u_id).loc <- At_device d.d_id) st.outputs_of.(j);
+        push_event st (Schedule.Op_finished { op = j; device = d.d_id; time })
+      | Running _ | Idle -> ())
+    st.devs
+
+let next_event_time st =
+  let best = ref max_int in
+  List.iter (fun tr -> if tr.t_finish < !best then best := tr.t_finish) st.transports;
+  Array.iter
+    (fun d -> match d.d_run with Running (_, f) when f < !best -> best := f | Running _ | Idle -> ())
+    st.devs;
+  if !best = max_int then None else Some !best
+
+(* ------------------------------------------------------------------ *)
+
+let dump_state st time =
+  let ppf = Format.err_formatter in
+  Format.fprintf ppf "@[<v>-- scheduler deadlock at t=%d --@," time;
+  Array.iter
+    (fun d ->
+      let held = units_at_device st d.d_id |> List.map (fun u -> u.u_id) in
+      Format.fprintf ppf "dev %d (%s) run=%s reserved=%s holds=%a@," d.d_id
+        (match d.d_kind with
+         | Chip.Mixer -> "mixer"
+         | Chip.Detector -> "detector"
+         | Chip.Heater -> "heater"
+         | Chip.Filter -> "filter")
+        (match d.d_run with Idle -> "idle" | Running (j, f) -> Printf.sprintf "op%d until %d" j f)
+        (match d.reserved_by with None -> "-" | Some j -> string_of_int j)
+        Fmt.(list ~sep:comma int) held)
+    st.devs;
+  Array.iteri
+    (fun j started ->
+      if not started then
+        Format.fprintf ppf "op %d pending: preds_done=%b bound=%s@," j
+          (List.for_all (fun p -> st.op_finished.(p)) (Seqgraph.preds st.app j))
+          (match st.op_bound.(j) with None -> "-" | Some d -> string_of_int d))
+    st.op_started;
+  Array.iter
+    (fun u ->
+      let loc =
+        match u.loc with
+        | Fresh -> "fresh"
+        | At_device d -> Printf.sprintf "dev%d" d
+        | Stored e -> Printf.sprintf "stored@%d" e
+        | At_reservoir n -> Printf.sprintf "reservoir@%d" n
+        | In_transit -> "transit"
+        | Consumed -> "consumed"
+      in
+      if u.loc <> Consumed then
+        Format.fprintf ppf "unit %d (%s->op%d) %s@," u.u_id
+          (match u.producer with None -> "fresh" | Some p -> "op" ^ string_of_int p)
+          u.consumer loc)
+    st.units;
+  Format.fprintf ppf "--@]@."
+
+let run ?(options = default_options) chip app =
+  (* every op kind used must have a device *)
+  let missing =
+    Array.to_list (Seqgraph.ops app)
+    |> List.find_opt (fun (o : Op.t) ->
+        let kind = device_kind_of_op o.kind in
+        not (Array.exists (fun (d : Chip.device) -> d.kind = kind) (Chip.devices chip)))
+  in
+  match missing with
+  | Some o -> Error (Schedule.No_device o.kind)
+  | None ->
+    let st = init chip app options in
+    let n = Seqgraph.n_ops app in
+    let all_done () = Array.for_all Fun.id st.op_finished in
+    let rec loop time =
+      if time > options.horizon then Error (Schedule.Timeout time)
+      else begin
+        complete_at st time;
+        ignore (try_progress st time);
+        if all_done () then begin
+          let makespan = Array.fold_left max 0 st.op_finish_time in
+          Ok
+            {
+              Schedule.makespan;
+              events = List.rev st.events;
+              n_transports = st.n_transports;
+              transport_time = st.transport_time;
+              n_stored = st.n_stored;
+              n_washes = st.n_washes;
+            }
+        end
+        else
+          match next_event_time st with
+          | Some t -> loop t
+          | None ->
+            if Sys.getenv_opt "MFDFT_SCHED_DEBUG" <> None then dump_state st time;
+            Error (Schedule.Deadlock time)
+      end
+    in
+    ignore n;
+    loop 0
+
+let makespan ?options chip app =
+  match run ?options chip app with Ok s -> Some s.Schedule.makespan | Error _ -> None

@@ -1,0 +1,1 @@
+lib/testgen/cutgen.ml: Array List Mf_arch Mf_faults Mf_graph Mf_grid Mf_util Option

@@ -1,0 +1,1 @@
+lib/testgen/cutgen.mli: Mf_arch

@@ -1,0 +1,1 @@
+lib/testgen/multiport.mli: Mf_arch Mf_faults

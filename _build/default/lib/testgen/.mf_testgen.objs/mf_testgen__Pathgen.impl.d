@@ -1,0 +1,1 @@
+lib/testgen/pathgen.ml: Array Hashtbl List Mf_arch Mf_graph Mf_grid Mf_ilp Mf_util Option Printf

@@ -1,0 +1,1 @@
+lib/testgen/pathgen.mli: Mf_arch

@@ -1,0 +1,1 @@
+lib/testgen/repair.ml: Array Fun List Mf_arch Mf_faults Mf_graph Mf_grid Mf_util Vectors

@@ -1,0 +1,1 @@
+lib/testgen/repair.mli: Mf_arch Vectors

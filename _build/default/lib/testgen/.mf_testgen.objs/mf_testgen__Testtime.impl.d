@@ -1,0 +1,1 @@
+lib/testgen/testtime.ml: List Mf_arch Mf_control Mf_faults Mf_util

@@ -1,0 +1,1 @@
+lib/testgen/testtime.mli: Mf_arch Mf_control Mf_faults

@@ -1,0 +1,1 @@
+lib/testgen/vectors.ml: Array Cutgen List Mf_arch Mf_faults Pathgen

@@ -1,0 +1,1 @@
+lib/testgen/vectors.mli: Cutgen Mf_arch Mf_faults Pathgen

@@ -1,0 +1,34 @@
+(** Test-cut generation for stuck-at-1 defects (Sec. 3).
+
+    A test cut is a set of valves whose closure separates the pressure
+    source from the meter while everything else is open; a leaking (stuck
+    open) cut valve is detected because pressure then reaches the meter.
+    For a valve's leak to be observable it must be {e essential} in its
+    cut: some source→meter path must pass through that valve and avoid the
+    rest of the cut.
+
+    The generator covers every valve greedily: for each not-yet-covered
+    valve it builds a minimum valve-cut forced through it (max-flow with
+    unvalved channels at infinite capacity and a protected leak path), then
+    minimises the cut and confirms detection by fault simulation. *)
+
+type result = {
+  cuts : int list list;  (** each cut is a list of valve ids *)
+  untestable : int list;  (** valves whose stuck-at-1 cannot be observed *)
+}
+
+val generate : Mf_arch.Chip.t -> source:int -> meter:int -> result
+(** [generate chip ~source ~meter] with port {e ids}. *)
+
+val cover_valve : Mf_arch.Chip.t -> s:int -> t:int -> Mf_arch.Chip.valve -> int list option
+(** [cover_valve chip ~s ~t v] (with {e node} ids) builds a minimal cut
+    between [s] and [t] in which [v] is essential, or [None] when no such
+    cut exists for this terminal pair.  Building block shared with the
+    multi-port generator for original chips. *)
+
+val fallback_cuts : Mf_arch.Chip.t -> source:int -> meter:int -> int list list -> int list list
+(** The paper's worst-case construction: block each test path individually.
+    For every valve [v] on a path, emit the cut that closes every valve
+    except the path's other valves — the only possible leak runs through
+    [v].  Used as the ablation baseline; produces roughly one cut per
+    valve. *)

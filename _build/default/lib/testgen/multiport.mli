@@ -1,0 +1,23 @@
+(** Test generation for {e original} multi-port chips, the baseline of
+    Fig. 8.
+
+    With several ports available, a chip under test connects one pressure
+    source and several meters simultaneously, so one stimulus can exercise a
+    whole tree of channels (each meter observes its own branch).  This is
+    why original chips need fewer vectors than the single-source
+    single-meter DFT architectures, at the price of a much more expensive
+    test bench.
+
+    Some channels of a multi-port chip may be untestable without DFT (a
+    dead-end spur reaches only one port); they are reported rather than
+    silently dropped — they are the paper's motivation for augmentation. *)
+
+type result = {
+  vectors : Mf_faults.Vector.t list;
+  n_path_vectors : int;
+  n_cut_vectors : int;
+  sa0_untestable : int list;  (** channel edges not coverable by any stimulus *)
+  sa1_untestable : int list;  (** valves not coverable by any cut *)
+}
+
+val generate : Mf_arch.Chip.t -> result

@@ -1,0 +1,40 @@
+(** ILP-based single-source / single-meter test-path generation: the
+    formulation of Sec. 3, constraints (1)–(4) with objective (5) and lazy
+    loop-elimination cuts.
+
+    The result is a {e DFT configuration}: which free grid edges must be
+    added as channels (each carrying a DFT valve) so that [n_paths] paths
+    from the source port to the meter port jointly cover every original
+    channel edge. *)
+
+type config = {
+  src_port : int;  (** port id of the pressure source *)
+  dst_port : int;  (** port id of the pressure meter *)
+  added_edges : int list;  (** free grid edges promoted to DFT channels *)
+  paths : int list list;  (** ordered edge lists, each from source to meter *)
+  n_paths : int;
+  ilp_nodes : int;  (** LP relaxations solved, for the ablation bench *)
+  loop_cuts : int;  (** lazy loop-elimination constraints added *)
+}
+
+val farthest_ports : Mf_arch.Chip.t -> int * int
+(** The pair of port ids at maximal hop distance through the existing
+    channel network (Sec. 3: long test paths cover more of the chip).
+    Ties break toward the smallest ids. *)
+
+val generate :
+  ?weights:(int -> float) ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  ?max_paths:int ->
+  ?node_limit:int ->
+  Mf_arch.Chip.t ->
+  (config, string) result
+(** Solve the DFT path formulation, growing the path count from 2 until
+    feasible (Sec. 3).  [weights] biases objective (5) per free edge
+    (default all 1) — the hook the outer PSO uses to explore alternative
+    optimal configurations; weights must be >= some positive value.
+    [max_paths] defaults to 8. *)
+
+val apply : Mf_arch.Chip.t -> config -> Mf_arch.Chip.t
+(** Augment the chip with the configuration's added edges. *)

@@ -1,0 +1,101 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+module Bitset = Mf_util.Bitset
+module Rng = Mf_util.Rng
+module Vector = Mf_faults.Vector
+module Pressure = Mf_faults.Pressure
+module Fault = Mf_faults.Fault
+
+(* A simple source→meter path through channel edge [via], as two
+   node-disjoint halves; [weight] steers the detour. *)
+let simple_path_through chip ~s ~t ~via ~weight =
+  let g = Grid.graph (Chip.grid chip) in
+  let a, b = Graph.endpoints g via in
+  let channel f = f <> via && Chip.is_channel chip f in
+  let try_orientation (a, b) =
+    match Traverse.dijkstra g ~allowed:channel ~weight ~src:s ~dst:a with
+    | None -> None
+    | Some (_, half1) ->
+      let used = Bitset.create (Graph.n_nodes g) in
+      List.iter (Bitset.add used) (Traverse.path_nodes g ~src:s half1);
+      if Bitset.mem used b || Bitset.mem used t then None
+      else begin
+        let avoid f =
+          channel f
+          &&
+          let u, v = Graph.endpoints g f in
+          let fresh n = n = b || n = t || not (Bitset.mem used n) in
+          fresh u && fresh v
+        in
+        match Traverse.dijkstra g ~allowed:avoid ~weight ~src:b ~dst:t with
+        | None -> None
+        | Some (_, half2) -> Some (half1 @ (via :: half2))
+      end
+  in
+  match try_orientation (a, b) with Some p -> Some p | None -> try_orientation (b, a)
+
+let candidate_paths chip ~s ~t ~via =
+  let g = Grid.graph (Chip.grid chip) in
+  let ne = Graph.n_edges g in
+  let rng = Rng.create ~seed:(31 + via) in
+  List.filter_map
+    (fun attempt ->
+      let weight =
+        if attempt = 0 then fun _ -> 1.
+        else begin
+          let noise = Array.init ne (fun _ -> Rng.float rng 4.) in
+          fun f -> 1. +. noise.(f)
+        end
+      in
+      simple_path_through chip ~s ~t ~via ~weight)
+    (List.init 6 Fun.id)
+
+let repair_sa0 chip ~s ~t edge =
+  let accept path =
+    let vec = Vector.of_path chip ~source:s ~meters:[ t ] path in
+    Pressure.well_formed chip vec && Pressure.detects chip vec (Fault.Stuck_at_0 edge)
+  in
+  List.find_opt accept (candidate_paths chip ~s ~t ~via:edge)
+
+(* Worst-case stuck-at-1 vector (Sec. 3): close every valve except those on
+   one leak path through the defective valve, so pressure at the meter can
+   only mean that [v] failed to close. *)
+let repair_sa1 chip ~s ~t valve_id =
+  let v = (Chip.valves chip).(valve_id) in
+  let try_path path =
+    let open_valves =
+      List.filter_map
+        (fun f ->
+          match Chip.valve_on chip f with
+          | Some (w : Chip.valve) when w.valve_id <> valve_id -> Some w.valve_id
+          | Some _ | None -> None)
+        path
+    in
+    let cut =
+      List.init (Chip.n_valves chip) Fun.id
+      |> List.filter (fun w -> not (List.mem w open_valves))
+    in
+    let vec = Vector.of_cut chip ~source:s ~meters:[ t ] cut in
+    if Pressure.well_formed chip vec && Pressure.detects chip vec (Fault.Stuck_at_1 valve_id)
+    then Some cut
+    else None
+  in
+  List.find_map try_path (candidate_paths chip ~s ~t ~via:v.edge)
+
+let run chip (suite : Vectors.t) =
+  let report = Vectors.validate chip suite in
+  let ports = Chip.ports chip in
+  let s = ports.(suite.source_port).node and t = ports.(suite.meter_port).node in
+  let extra_paths =
+    List.filter_map (fun e -> repair_sa0 chip ~s ~t e) report.sa0_undetected
+  in
+  let extra_cuts =
+    List.filter_map (fun v -> repair_sa1 chip ~s ~t v) report.sa1_undetected
+  in
+  {
+    suite with
+    Vectors.path_edges = suite.Vectors.path_edges @ extra_paths;
+    cut_valves = suite.Vectors.cut_valves @ extra_cuts;
+  }

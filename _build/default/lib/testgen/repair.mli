@@ -1,0 +1,20 @@
+(** Targeted repair of a test-vector suite.
+
+    The ILP guarantees every original channel lies on a test path, but a
+    fault can still escape detection: an unvalved parallel segment may keep
+    the meter pressurised when a path edge is blocked (stuck-at-0 masking),
+    and a minimum cut through a valve may not exist for the chosen
+    terminals (stuck-at-1).  [run] measures coverage by fault simulation
+    and adds dedicated vectors for every escaped fault:
+
+    - stuck-at-0 at edge [e]: alternative source→meter paths through [e]
+      (several detours are tried; a candidate is kept only when simulation
+      confirms detection);
+    - stuck-at-1 at valve [v]: the paper's worst-case construction — close
+      every valve except those on one leak path through [v], so the only
+      possible pressure route runs through the defect. *)
+
+val run : Mf_arch.Chip.t -> Vectors.t -> Vectors.t
+(** [run chip suite] returns the suite extended with repair vectors.  The
+    result is not guaranteed complete (genuinely untestable faults remain
+    uncovered); callers re-validate with {!Vectors.validate}. *)

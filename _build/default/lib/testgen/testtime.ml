@@ -1,0 +1,33 @@
+module Chip = Mf_arch.Chip
+module Control = Mf_control.Control
+module Vector = Mf_faults.Vector
+module Bitset = Mf_util.Bitset
+
+type params = { alpha : float; beta : float; settle : float; read : float }
+
+let default_params = { alpha = 1.0; beta = 2.0; settle = 10.0; read = 5.0 }
+
+let per_vector ?(params = default_params) chip layout (v : Vector.t) =
+  (* idle state: every line pressurised (all valves closed); applying the
+     vector releases the lines that must open, so the reconfiguration time
+     is bounded by the slowest such line's slowest valve *)
+  let slowest = ref 0. in
+  for line = 0 to Chip.n_controls chip - 1 do
+    if not (Bitset.mem v.Vector.active_lines line) then
+      List.iter
+        (fun (valve : Chip.valve) ->
+          let delay =
+            match
+              Control.actuation_delay ~alpha:params.alpha ~beta:params.beta layout
+                ~valve:valve.valve_id
+            with
+            | Some d -> d
+            | None -> params.beta
+          in
+          if delay > !slowest then slowest := delay)
+        (Chip.valves_of_control chip line)
+  done;
+  !slowest +. params.settle +. params.read
+
+let total ?(params = default_params) chip layout vectors =
+  List.fold_left (fun acc v -> acc +. per_vector ~params chip layout v) 0. vectors

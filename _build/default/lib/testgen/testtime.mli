@@ -1,0 +1,28 @@
+(** Test application time.
+
+    Sec. 5 notes that the larger DFT vector count "leads to a relatively
+    longer test time".  This module quantifies it: applying one vector
+    means reconfiguring the valves (bounded by the slowest control line
+    being switched, cf. the pressure-propagation delays of [12]), letting
+    the pneumatic network settle, and reading the meter(s). *)
+
+type params = {
+  alpha : float;  (** control-channel delay per length unit *)
+  beta : float;  (** valve response offset *)
+  settle : float;  (** flow-layer settling time per vector *)
+  read : float;  (** pressure-meter sampling time *)
+}
+
+val default_params : params
+(** alpha 1.0, beta 2.0, settle 10.0, read 5.0 (arbitrary units,
+    consistent across compared architectures). *)
+
+val per_vector :
+  ?params:params -> Mf_arch.Chip.t -> Mf_control.Control.t -> Mf_faults.Vector.t -> float
+(** Time to apply one vector: worst actuation delay among the lines whose
+    state differs from the all-closed idle state, plus settle and read.
+    Unrouted lines contribute only [beta]. *)
+
+val total :
+  ?params:params -> Mf_arch.Chip.t -> Mf_control.Control.t -> Mf_faults.Vector.t list -> float
+(** Whole test program duration. *)

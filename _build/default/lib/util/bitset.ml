@@ -1,0 +1,85 @@
+type t = { n : int; words : Bytes.t }
+
+let bits_per_word = 8
+
+let create n =
+  assert (n >= 0);
+  { n; words = Bytes.make ((n + bits_per_word - 1) / bits_per_word) '\000' }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.n)
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / 8 in
+  Bytes.set t.words w (Char.chr (Char.code (Bytes.get t.words w) lor (1 lsl (i mod 8))))
+
+let remove t i =
+  check t i;
+  let w = i / 8 in
+  Bytes.set t.words w (Char.chr (Char.code (Bytes.get t.words w) land lnot (1 lsl (i mod 8)) land 0xff))
+
+let set t i b = if b then add t i else remove t i
+
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let fill t =
+  for i = 0 to t.n - 1 do
+    add t i
+  done
+
+let popcount_byte =
+  let table = Array.init 256 (fun b ->
+      let rec count b = if b = 0 then 0 else (b land 1) + count (b lsr 1) in
+      count b)
+  in
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let total = ref 0 in
+  Bytes.iter (fun c -> total := !total + popcount_byte c) t.words;
+  !total
+
+let is_empty t =
+  let rec loop i = i >= Bytes.length t.words || (Bytes.get t.words i = '\000' && loop (i + 1)) in
+  loop 0
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let binop f dst src =
+  if dst.n <> src.n then invalid_arg "Bitset: size mismatch";
+  for w = 0 to Bytes.length dst.words - 1 do
+    let r = f (Char.code (Bytes.get dst.words w)) (Char.code (Bytes.get src.words w)) land 0xff in
+    Bytes.set dst.words w (Char.chr r)
+  done
+
+let union_into dst src = binop ( lor ) dst src
+let inter_into dst src = binop ( land ) dst src
+let diff_into dst src = binop (fun a b -> a land lnot b) dst src
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (elements t)

@@ -1,0 +1,35 @@
+(** Fixed-capacity bitsets over [0 .. n-1], used for valve-state vectors and
+    occupancy snapshots where allocation-free set operations matter. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1]. *)
+
+val length : t -> int
+(** Universe size. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val set : t -> int -> bool -> unit
+val copy : t -> t
+val clear : t -> unit
+val fill : t -> unit
+(** [fill s] adds every element of the universe. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]. *)
+
+val inter_into : t -> t -> unit
+val diff_into : t -> t -> unit
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+val pp : Format.formatter -> t -> unit

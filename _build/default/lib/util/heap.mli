@@ -1,0 +1,19 @@
+(** Imperative binary min-heap keyed by float priorities.
+
+    Used as the priority queue behind Dijkstra routing and the
+    branch-and-bound best-first node selection. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v] inserts [v]; lower priorities pop first. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,79 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 is used only to expand the user seed into the four xoshiro
+   state words, as recommended by Blackman & Vigna. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next rng =
+  let result = Int64.mul (rotl (Int64.mul rng.s1 5L) 7) 9L in
+  let t = Int64.shift_left rng.s1 17 in
+  rng.s2 <- Int64.logxor rng.s2 rng.s0;
+  rng.s3 <- Int64.logxor rng.s3 rng.s1;
+  rng.s1 <- Int64.logxor rng.s1 rng.s2;
+  rng.s0 <- Int64.logxor rng.s0 rng.s3;
+  rng.s2 <- Int64.logxor rng.s2 t;
+  rng.s3 <- rotl rng.s3 45;
+  result
+
+let split rng =
+  let seed = Int64.to_int (next rng) land max_int in
+  create ~seed
+
+let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }
+
+let int rng bound =
+  assert (bound > 0);
+  (* mask to OCaml's 62 positive bits: a plain [to_int] of a 63-bit value
+     can wrap negative and poison the modulo *)
+  let r = Int64.to_int (Int64.shift_right_logical (next rng) 2) land max_int in
+  r mod bound
+
+let uniform rng =
+  (* 53 high bits give a uniform double in [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next rng) 11) in
+  bits *. 0x1.0p-53
+
+let float rng bound = uniform rng *. bound
+
+let bool rng = Int64.logand (next rng) 1L = 1L
+
+let gaussian rng =
+  let rec draw () =
+    let u = (2. *. uniform rng) -. 1. in
+    let v = (2. *. uniform rng) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw () else u *. sqrt (-2. *. log s /. s)
+  in
+  draw ()
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick rng arr =
+  assert (Array.length arr > 0);
+  arr.(int rng (Array.length arr))
+
+let pick_list rng l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ :: _ -> List.nth l (int rng (List.length l))

@@ -1,0 +1,18 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used for connected-component bookkeeping when detecting loops in ILP
+    test-path solutions. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0..n-1], each its own component. *)
+
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two components; returns [false] if they were
+    already the same component. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of distinct components. *)

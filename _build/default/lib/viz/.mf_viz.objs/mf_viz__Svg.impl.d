@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Hashtbl List Mf_arch Mf_bioassay Mf_control Mf_graph Mf_grid Mf_sched Option Printf String

@@ -1,0 +1,1 @@
+lib/viz/svg.mli: Mf_arch Mf_bioassay Mf_control Mf_sched

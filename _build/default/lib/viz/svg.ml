@@ -1,0 +1,308 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Schedule = Mf_sched.Schedule
+module Seqgraph = Mf_bioassay.Seqgraph
+module Control = Mf_control.Control
+
+let cell = 60 (* pixels per grid step *)
+let margin = 40
+
+let header ~width ~height buf =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"monospace\">\n\
+        <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+       width height width height width height)
+
+let footer buf = Buffer.add_string buf "</svg>\n"
+
+let line buf ~x1 ~y1 ~x2 ~y2 ~stroke ~width' =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" stroke-width=\"%d\" \
+        stroke-linecap=\"round\"/>\n"
+       x1 y1 x2 y2 stroke width')
+
+let rect buf ~x ~y ~w ~h ~fill ?(stroke = "none") () =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"%s\" rx=\"4\"/>\n"
+       x y w h fill stroke)
+
+let circle buf ~cx ~cy ~r ~fill =
+  Buffer.add_string buf
+    (Printf.sprintf "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"%s\"/>\n" cx cy r fill)
+
+let text buf ~x ~y ?(size = 14) ?(fill = "black") ?(anchor = "middle") s =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" font-size=\"%d\" fill=\"%s\" text-anchor=\"%s\">%s</text>\n" x y
+       size fill anchor s)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(* ------------------------------------------------------------------ *)
+(* Flow layer *)
+
+let node_xy grid n =
+  let x, y = Grid.coords grid n in
+  (margin + (x * cell), margin + (y * cell))
+
+let draw_flow buf ?(dim = false) chip =
+  let grid = Chip.grid chip in
+  let g = Grid.graph grid in
+  let channel_colour = if dim then "#cccccc" else "#3b7dd8" in
+  let w = Grid.width grid and h = Grid.height grid in
+  (* grid dots *)
+  for x = 0 to w - 1 do
+    for y = 0 to h - 1 do
+      circle buf ~cx:(margin + (x * cell)) ~cy:(margin + (y * cell)) ~r:2
+        ~fill:(if dim then "#eeeeee" else "#dddddd")
+    done
+  done;
+  (* channels *)
+  Graph.iter_edges
+    (fun e u v ->
+      if Chip.is_channel chip e then begin
+        let x1, y1 = node_xy grid u and x2, y2 = node_xy grid v in
+        line buf ~x1 ~y1 ~x2 ~y2 ~stroke:channel_colour ~width':8
+      end)
+    g;
+  (* valves as squares at edge midpoints *)
+  Array.iter
+    (fun (v : Chip.valve) ->
+      let u, w' = Graph.endpoints g v.edge in
+      let x1, y1 = node_xy grid u and x2, y2 = node_xy grid w' in
+      let cx = (x1 + x2) / 2 and cy = (y1 + y2) / 2 in
+      let fill =
+        if dim then "#bbbbbb" else if v.is_dft then "#e67e22" else "#c0392b"
+      in
+      rect buf ~x:(cx - 7) ~y:(cy - 7) ~w:14 ~h:14 ~fill ~stroke:"black" ())
+    (Chip.valves chip);
+  (* devices *)
+  Array.iter
+    (fun (d : Chip.device) ->
+      let x, y = node_xy grid d.node in
+      let fill =
+        if dim then "#dddddd"
+        else
+          match d.kind with
+          | Chip.Mixer -> "#27ae60"
+          | Chip.Detector -> "#8e44ad"
+          | Chip.Heater -> "#d35400"
+          | Chip.Filter -> "#16a085"
+      in
+      rect buf ~x:(x - 18) ~y:(y - 18) ~w:36 ~h:36 ~fill ~stroke:"black" ();
+      text buf ~x ~y:(y + 5) ~size:12 ~fill:"white" (escape d.name))
+    (Chip.devices chip);
+  (* ports *)
+  Array.iter
+    (fun (p : Chip.port) ->
+      let x, y = node_xy grid p.node in
+      circle buf ~cx:x ~cy:y ~r:14 ~fill:(if dim then "#dddddd" else "#2c3e50");
+      text buf ~x ~y:(y + 4) ~size:10 ~fill:"white" (escape p.port_name))
+    (Chip.ports chip)
+
+let canvas_size chip =
+  let grid = Chip.grid chip in
+  ( (2 * margin) + ((Grid.width grid - 1) * cell),
+    (2 * margin) + ((Grid.height grid - 1) * cell) )
+
+let chip chip_value =
+  let buf = Buffer.create 4096 in
+  let width, height = canvas_size chip_value in
+  header ~width ~height:(height + 30) buf;
+  draw_flow buf chip_value;
+  text buf ~x:(width / 2) ~y:(height + 15)
+    (escape
+       (Printf.sprintf "%s - %d valves (%d DFT), %d control lines" (Chip.name chip_value)
+          (Chip.n_valves chip_value)
+          (Chip.n_valves chip_value - Chip.n_original_valves chip_value)
+          (Chip.n_controls chip_value)));
+  footer buf;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Control layer *)
+
+let palette =
+  [| "#e6194b"; "#3cb44b"; "#4363d8"; "#f58231"; "#911eb4"; "#46f0f0"; "#f032e6"; "#bcf60c";
+     "#008080"; "#9a6324"; "#800000"; "#808000"; "#000075"; "#fabebe"; "#e6beff"; "#aaffc3" |]
+
+let control_layer chip_value (layout : Control.t) =
+  let buf = Buffer.create 8192 in
+  let width, height = canvas_size chip_value in
+  header ~width ~height:(height + 30) buf;
+  draw_flow buf ~dim:true chip_value;
+  let g = layout.Control.layer_graph in
+  (* the control grid is 6x refined (see Control), so its pixel pitch is a
+     sixth of the flow layer's *)
+  let flow_grid = Chip.grid chip_value in
+  let scale = cell / 6 in
+  let ctrl_xy n =
+    let per_row = (6 * (Grid.width flow_grid - 1)) + 1 in
+    let x = n mod per_row and y = n / per_row in
+    (margin + (x * scale), margin + (y * scale))
+  in
+  List.iteri
+    (fun i (r : Control.route) ->
+      let colour = palette.(i mod Array.length palette) in
+      List.iter
+        (fun e ->
+          let u, v = Graph.endpoints g e in
+          let x1, y1 = ctrl_xy u and x2, y2 = ctrl_xy v in
+          line buf ~x1 ~y1 ~x2 ~y2 ~stroke:colour ~width':3)
+        r.Control.tree_edges;
+      let px, py = ctrl_xy r.Control.port_node in
+      circle buf ~cx:px ~cy:py ~r:6 ~fill:colour;
+      List.iter
+        (fun (_, tap) ->
+          let tx, ty = ctrl_xy tap in
+          rect buf ~x:(tx - 4) ~y:(ty - 4) ~w:8 ~h:8 ~fill:colour ())
+        r.Control.taps)
+    layout.Control.routes;
+  text buf ~x:(width / 2) ~y:(height + 15)
+    (escape
+       (Printf.sprintf "control layer: %d ports, length %d%s" (Control.n_ports layout)
+          (Control.total_length layout)
+          (if layout.Control.unrouted = [] then ""
+           else Printf.sprintf ", %d UNROUTED" (List.length layout.Control.unrouted))));
+  footer buf;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Gantt chart *)
+
+let schedule app (s : Schedule.t) =
+  let device_ids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ev ->
+           match ev with
+           | Schedule.Op_started { device; _ } -> Some device
+           | Schedule.Op_finished _ | Schedule.Transport_started _ | Schedule.Unit_stored _
+           | Schedule.Unit_parked _ -> None)
+         s.Schedule.events)
+  in
+  let n_rows = List.length device_ids in
+  let row_of d = Option.get (List.find_index (( = ) d) device_ids) in
+  let width = 900 and row_h = 36 in
+  let chart_w = width - 140 in
+  let height = (n_rows * row_h) + 110 in
+  let xs t = 120 + (t * chart_w / max 1 s.Schedule.makespan) in
+  let buf = Buffer.create 8192 in
+  header ~width ~height buf;
+  text buf ~x:(width / 2) ~y:24
+    (escape (Printf.sprintf "schedule: makespan %d s, %d transports" s.Schedule.makespan
+               s.Schedule.n_transports));
+  (* device rows *)
+  List.iteri
+    (fun i d ->
+      let y = 50 + (i * row_h) in
+      text buf ~x:60 ~y:(y + (row_h / 2)) ~anchor:"middle" (Printf.sprintf "device %d" d);
+      line buf ~x1:120 ~y1:(y + row_h) ~x2:(120 + chart_w) ~y2:(y + row_h) ~stroke:"#eeeeee"
+        ~width':1;
+      ignore i)
+    device_ids;
+  (* op bars: pair starts with finishes *)
+  let starts = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Schedule.Op_started { op; device; time } -> Hashtbl.replace starts op (device, time)
+      | Schedule.Op_finished { op; time; _ } ->
+        (match Hashtbl.find_opt starts op with
+         | Some (device, t0) ->
+           let y = 50 + (row_of device * row_h) in
+           let x0 = xs t0 and x1 = xs time in
+           let name = (Seqgraph.op app op).Mf_bioassay.Op.op_name in
+           let fill =
+             match (Seqgraph.op app op).Mf_bioassay.Op.kind with
+             | Mf_bioassay.Op.Mix -> "#27ae60"
+             | Mf_bioassay.Op.Detect -> "#8e44ad"
+             | Mf_bioassay.Op.Heat -> "#d35400"
+             | Mf_bioassay.Op.Filter -> "#16a085"
+           in
+           rect buf ~x:x0 ~y:(y + 4) ~w:(max 2 (x1 - x0)) ~h:(row_h - 12) ~fill ~stroke:"black" ();
+           if x1 - x0 > 50 then
+             text buf ~x:((x0 + x1) / 2) ~y:(y + (row_h / 2) + 2) ~size:10 ~fill:"white"
+               (escape name)
+         | None -> ())
+      | Schedule.Transport_started _ | Schedule.Unit_stored _ | Schedule.Unit_parked _ -> ())
+    s.Schedule.events;
+  (* transport ticks on a bottom lane *)
+  let lane_y = 50 + (n_rows * row_h) + 10 in
+  text buf ~x:60 ~y:(lane_y + 12) "moves";
+  List.iter
+    (fun ev ->
+      match ev with
+      | Schedule.Transport_started { time; finish; _ } ->
+        rect buf ~x:(xs time) ~y:lane_y ~w:(max 2 (xs finish - xs time)) ~h:8 ~fill:"#7f8c8d" ()
+      | Schedule.Op_started _ | Schedule.Op_finished _ | Schedule.Unit_stored _
+      | Schedule.Unit_parked _ -> ())
+    s.Schedule.events;
+  (* time axis *)
+  let axis_y = lane_y + 30 in
+  line buf ~x1:120 ~y1:axis_y ~x2:(120 + chart_w) ~y2:axis_y ~stroke:"black" ~width':1;
+  for k = 0 to 4 do
+    let t = k * s.Schedule.makespan / 4 in
+    text buf ~x:(xs t) ~y:(axis_y + 18) ~size:12 (string_of_int t)
+  done;
+  footer buf;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* PSO trace *)
+
+let trace ?(invalid_threshold = infinity) values =
+  let width = 640 and height = 360 in
+  let buf = Buffer.create 4096 in
+  header ~width ~height buf;
+  let valid = List.filter (fun v -> v < invalid_threshold) values in
+  (match valid with
+   | [] -> text buf ~x:(width / 2) ~y:(height / 2) "no valid scheme found"
+   | v0 :: rest ->
+     let lo = List.fold_left min v0 rest and hi = List.fold_left max v0 rest in
+     let lo = lo -. 1. and hi = hi +. 1. in
+     let n = List.length values in
+     let x_of i = 60 + (i * (width - 100) / max 1 (n - 1)) in
+     let y_of v =
+       let frac = (v -. lo) /. (hi -. lo) in
+       (height - 60) - int_of_float (frac *. float_of_int (height - 110))
+     in
+     line buf ~x1:60 ~y1:(height - 60) ~x2:(width - 40) ~y2:(height - 60) ~stroke:"black"
+       ~width':1;
+     line buf ~x1:60 ~y1:50 ~x2:60 ~y2:(height - 60) ~stroke:"black" ~width':1;
+     text buf ~x:(width / 2) ~y:(height - 20) "PSO iteration";
+     text buf ~x:30 ~y:40 ~anchor:"start" "exec time [s]";
+     let prev = ref None in
+     List.iteri
+       (fun i v ->
+         if v < invalid_threshold then begin
+           let x = x_of i and y = y_of v in
+           (match !prev with
+            | Some (px, py) -> line buf ~x1:px ~y1:py ~x2:x ~y2:y ~stroke:"#3b7dd8" ~width':2
+            | None -> ());
+           circle buf ~cx:x ~cy:y ~r:3 ~fill:"#3b7dd8";
+           prev := Some (x, y)
+         end
+         else prev := None)
+       values;
+     text buf ~x:70 ~y:(y_of v0 - 8) ~anchor:"start" ~size:12
+       (Printf.sprintf "start %.0f" v0);
+     let final = List.nth valid (List.length valid - 1) in
+     text buf ~x:(width - 45) ~y:(y_of final - 8) ~anchor:"end" ~size:12
+       (Printf.sprintf "final %.0f" final));
+  footer buf;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** SVG renderings of chips, schedules, control layers and PSO traces —
+    publication-style counterparts of the ASCII [Chip.render].
+
+    All functions return a complete standalone SVG document. *)
+
+val chip : Mf_arch.Chip.t -> string
+(** Flow layer: channels, valves (originals dark, DFT highlighted), devices
+    and ports, on the connection grid. *)
+
+val control_layer : Mf_arch.Chip.t -> Mf_control.Control.t -> string
+(** The flow layer greyed out with the routed control trees drawn on top,
+    one colour per control line, ports marked at the boundary. *)
+
+val schedule : Mf_bioassay.Seqgraph.t -> Mf_sched.Schedule.t -> string
+(** Gantt chart: one row per device, one bar per operation, transport
+    ticks underneath. *)
+
+val trace : ?invalid_threshold:float -> float list -> string
+(** Convergence plot of a PSO trace (Fig. 9 style); entries at or above
+    [invalid_threshold] (default infinity) render as gaps. *)

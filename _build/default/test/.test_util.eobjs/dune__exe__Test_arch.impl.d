@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array List Mf_arch Mf_chips Mf_grid Mf_util Option String

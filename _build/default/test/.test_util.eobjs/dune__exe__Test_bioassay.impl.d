@@ -1,0 +1,1 @@
+test/test_bioassay.ml: Alcotest Array Fun Hashtbl List Mf_bioassay Mf_chips Mf_sched Mf_util Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_chips.ml: Alcotest Array List Mf_arch Mf_chips Mf_graph Mf_grid Mf_util Option

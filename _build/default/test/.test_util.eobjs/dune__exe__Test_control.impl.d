@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Hashtbl List Mf_arch Mf_chips Mf_control Mf_graph Mf_grid Mf_testgen Mf_util Option

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lazy List Mf_arch Mf_bioassay Mf_chips Mf_pso Mf_testgen Mf_util Mfdft Option String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest List Mf_arch Mf_faults Mf_grid Option

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List Mf_graph Mf_util QCheck QCheck_alcotest

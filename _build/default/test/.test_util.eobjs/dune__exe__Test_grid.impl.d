@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Mf_graph Mf_grid QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Fun List Mf_ilp Mf_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Mf_lp Mf_util QCheck QCheck_alcotest

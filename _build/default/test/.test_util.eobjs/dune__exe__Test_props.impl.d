@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Format List Mf_arch Mf_bioassay Mf_chips Mf_faults Mf_graph Mf_grid Mf_sched Mf_testgen Mf_util Mfdft Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pso.ml: Alcotest Array List Mf_pso Mf_util

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Hashtbl List Mf_arch Mf_bioassay Mf_chips Mf_sched Mf_testgen Option Printf

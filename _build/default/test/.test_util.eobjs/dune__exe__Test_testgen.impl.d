@@ -1,0 +1,1 @@
+test/test_testgen.ml: Alcotest Array List Mf_arch Mf_chips Mf_control Mf_faults Mf_graph Mf_grid Mf_testgen Mf_util Option

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest List Mf_arch Mf_bioassay Mf_chips Mf_control Mf_sched Mf_testgen Mf_viz Option Printf String

@@ -1,0 +1,309 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Bitset = Mf_util.Bitset
+
+let check = Alcotest.check
+
+(* The 3-port chip of Fig. 4(a): a Y of channels with valves on each arm. *)
+let fig4_builder () =
+  let b = Chip.builder ~name:"fig4" ~width:5 ~height:5 in
+  Chip.add_port b ~x:0 ~y:2 ~name:"P0";
+  Chip.add_port b ~x:4 ~y:2 ~name:"P1";
+  Chip.add_port b ~x:2 ~y:0 ~name:"P2";
+  Chip.add_device b ~kind:Chip.Mixer ~x:2 ~y:4 ~name:"M";
+  Chip.add_channel b [ (0, 2); (1, 2); (2, 2); (3, 2); (4, 2) ];
+  Chip.add_channel b [ (2, 0); (2, 1); (2, 2) ];
+  Chip.add_channel b [ (2, 2); (2, 3); (2, 4) ];
+  Chip.add_valve b (0, 2) (1, 2);
+  Chip.add_valve b (1, 2) (2, 2);
+  Chip.add_valve b (2, 2) (3, 2);
+  Chip.add_valve b (3, 2) (4, 2);
+  Chip.add_valve b (2, 0) (2, 1);
+  Chip.add_valve b (2, 1) (2, 2);
+  Chip.add_valve b (2, 2) (2, 3);
+  b
+
+let fig4 () = Chip.finish_exn (fig4_builder ())
+
+let test_builder_happy () =
+  let chip = fig4 () in
+  check Alcotest.string "name" "fig4" (Chip.name chip);
+  check Alcotest.int "ports" 3 (Array.length (Chip.ports chip));
+  check Alcotest.int "devices" 1 (Array.length (Chip.devices chip));
+  check Alcotest.int "valves" 7 (Chip.n_valves chip);
+  check Alcotest.int "original valves" 7 (Chip.n_original_valves chip);
+  check Alcotest.int "controls" 7 (Chip.n_controls chip);
+  check Alcotest.int "channels" 8 (Bitset.cardinal (Chip.channel_edges chip))
+
+let test_accessors () =
+  let chip = fig4 () in
+  let grid = Chip.grid chip in
+  let e = Option.get (Grid.edge_between_xy grid (0, 2) (1, 2)) in
+  (match Chip.valve_on chip e with
+   | Some v ->
+     check Alcotest.int "valve edge" e v.edge;
+     check Alcotest.bool "not dft" false v.is_dft
+   | None -> Alcotest.fail "expected valve");
+  let unvalved = Option.get (Grid.edge_between_xy grid (2, 3) (2, 4)) in
+  check Alcotest.bool "no valve" true (Chip.valve_on chip unvalved = None);
+  check Alcotest.bool "is channel" true (Chip.is_channel chip unvalved);
+  let p = Chip.port_at chip (Grid.node grid ~x:0 ~y:2) in
+  check Alcotest.(option string) "port name" (Some "P0")
+    (Option.map (fun (p : Chip.port) -> p.port_name) p);
+  let d = Chip.device_at chip (Grid.node grid ~x:2 ~y:4) in
+  check Alcotest.(option string) "device name" (Some "M")
+    (Option.map (fun (d : Chip.device) -> d.name) d)
+
+let test_overlap_rejected () =
+  let b = fig4_builder () in
+  Chip.add_device b ~kind:Chip.Detector ~x:0 ~y:2 ~name:"clash";
+  match Chip.finish b with
+  | Ok _ -> Alcotest.fail "expected overlap error"
+  | Error msg -> check Alcotest.bool "mentions overlap" true (String.length msg > 0)
+
+let test_unreachable_rejected () =
+  let b = Chip.builder ~name:"bad" ~width:4 ~height:4 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_port b ~x:3 ~y:3 ~name:"P1";
+  Chip.add_channel b [ (0, 0); (1, 0) ];
+  Chip.add_channel b [ (3, 3); (2, 3) ];
+  Chip.add_valve b (0, 0) (1, 0);
+  Chip.add_valve b (3, 3) (2, 3);
+  match Chip.finish b with
+  | Ok _ -> Alcotest.fail "expected unreachable error"
+  | Error _ -> ()
+
+let test_port_separation_rejected () =
+  (* two ports joined by an entirely unvalved channel: closing all valves
+     cannot separate them, so stuck-at-1 defects would be untestable *)
+  let b = Chip.builder ~name:"leaky" ~width:3 ~height:1 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_port b ~x:2 ~y:0 ~name:"P1";
+  Chip.add_channel b [ (0, 0); (1, 0); (2, 0) ];
+  match Chip.finish b with
+  | Ok _ -> Alcotest.fail "expected separation error"
+  | Error msg ->
+    check Alcotest.bool "mentions the ports" true
+      (String.length msg > 0 && String.lowercase_ascii msg <> "")
+
+let test_port_separation_one_valve_suffices () =
+  (* a single valve that isolates P0 satisfies the separation rule even
+     though the rest of the line is unvalved *)
+  let b = Chip.builder ~name:"guarded" ~width:3 ~height:1 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_port b ~x:2 ~y:0 ~name:"P1";
+  Chip.add_channel b [ (0, 0); (1, 0); (2, 0) ];
+  Chip.add_valve b (0, 0) (1, 0);
+  match Chip.finish b with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_single_port_rejected () =
+  let b = Chip.builder ~name:"one-port" ~width:3 ~height:1 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_channel b [ (0, 0); (1, 0) ];
+  Chip.add_valve b (0, 0) (1, 0);
+  match Chip.finish b with Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+
+let test_valve_needs_channel () =
+  let b = fig4_builder () in
+  Alcotest.check_raises "valve off-channel" (Invalid_argument "Chip.add_valve: no channel on that edge")
+    (fun () -> Chip.add_valve b (0, 0) (1, 0))
+
+let test_duplicate_valve () =
+  let b = fig4_builder () in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Chip.add_valve: duplicate valve") (fun () ->
+      Chip.add_valve b (0, 2) (1, 2))
+
+let test_channel_adjacency () =
+  let b = fig4_builder () in
+  Alcotest.check_raises "non-adjacent"
+    (Invalid_argument "Chip.add_channel: (0,0) and (2,0) not adjacent") (fun () ->
+      Chip.add_channel b [ (0, 0); (2, 0) ])
+
+let test_augment () =
+  let chip = fig4 () in
+  let grid = Chip.grid chip in
+  let free1 = Option.get (Grid.edge_between_xy grid (1, 2) (1, 3)) in
+  let free2 = Option.get (Grid.edge_between_xy grid (1, 3) (2, 3)) in
+  let aug = Chip.augment chip ~edges:[ free1; free2 ] in
+  check Alcotest.int "dft valves added" 9 (Chip.n_valves aug);
+  check Alcotest.int "originals preserved" 7 (Chip.n_original_valves aug);
+  check Alcotest.(list int) "dft edges recorded" [ free1; free2 ] (Chip.dft_edges aug);
+  check Alcotest.bool "edge now channel" true (Chip.is_channel aug free1);
+  (match Chip.valve_on aug free1 with
+   | Some v -> check Alcotest.bool "dft flag" true v.is_dft
+   | None -> Alcotest.fail "expected dft valve");
+  (* re-augmenting replaces, not stacks *)
+  let aug2 = Chip.augment aug ~edges:[ free1 ] in
+  check Alcotest.int "replaced" 8 (Chip.n_valves aug2);
+  check Alcotest.bool "old dft edge gone" false (Chip.is_channel aug2 free2)
+
+let test_augment_rejects_channel () =
+  let chip = fig4 () in
+  let grid = Chip.grid chip in
+  let occupied = Option.get (Grid.edge_between_xy grid (0, 2) (1, 2)) in
+  check Alcotest.bool "raises" true
+    (try
+       ignore (Chip.augment chip ~edges:[ occupied ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_with_sharing () =
+  let chip = fig4 () in
+  let grid = Chip.grid chip in
+  let free = Option.get (Grid.edge_between_xy grid (1, 2) (1, 3)) in
+  let aug = Chip.augment chip ~edges:[ free ] in
+  let dft_id = Chip.n_original_valves aug in
+  let shared = Chip.with_sharing aug [ (dft_id, 2) ] in
+  check Alcotest.int "one line fewer" (Chip.n_controls aug - 1) (Chip.n_controls shared);
+  let line = (Chip.valves shared).(2).control in
+  let driven = Chip.valves_of_control shared line in
+  check Alcotest.int "line drives two valves" 2 (List.length driven);
+  check Alcotest.bool "dft valve on the line" true
+    (List.exists (fun (v : Chip.valve) -> v.valve_id = dft_id) driven)
+
+let test_with_sharing_rejects () =
+  let chip = fig4 () in
+  check Alcotest.bool "raises on non-dft" true
+    (try
+       ignore (Chip.with_sharing chip [ (0, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_render () =
+  let chip = fig4 () in
+  let picture = Chip.render chip in
+  check Alcotest.bool "mentions ports" true (String.contains picture 'P');
+  check Alcotest.bool "mentions mixer" true (String.contains picture 'M');
+  check Alcotest.bool "valves drawn" true (String.contains picture 'x')
+
+(* ------------------------------------------------------------------ *)
+(* Chip_io *)
+
+module Chip_io = Mf_arch.Chip_io
+
+let chips_equal a b =
+  (* structural equality of everything Chip_io claims to round-trip *)
+  Chip.name a = Chip.name b
+  && Grid.width (Chip.grid a) = Grid.width (Chip.grid b)
+  && Grid.height (Chip.grid a) = Grid.height (Chip.grid b)
+  && Array.map (fun (d : Chip.device) -> (d.kind, d.node, d.name)) (Chip.devices a)
+     = Array.map (fun (d : Chip.device) -> (d.kind, d.node, d.name)) (Chip.devices b)
+  && Array.map (fun (p : Chip.port) -> (p.node, p.port_name)) (Chip.ports a)
+     = Array.map (fun (p : Chip.port) -> (p.node, p.port_name)) (Chip.ports b)
+  && Bitset.elements (Chip.channel_edges a) = Bitset.elements (Chip.channel_edges b)
+  && Array.map (fun (v : Chip.valve) -> (v.edge, v.control, v.is_dft)) (Chip.valves a)
+     = Array.map (fun (v : Chip.valve) -> (v.edge, v.control, v.is_dft)) (Chip.valves b)
+  && List.sort compare (Chip.dft_edges a) = List.sort compare (Chip.dft_edges b)
+
+let test_io_roundtrip_benchmarks () =
+  List.iter
+    (fun name ->
+      let chip = Option.get (Mf_chips.Benchmarks.by_name name) in
+      match Chip_io.parse (Chip_io.to_string chip) with
+      | Error m -> Alcotest.fail (name ^ ": " ^ m)
+      | Ok chip' -> check Alcotest.bool (name ^ " round-trips") true (chips_equal chip chip'))
+    Mf_chips.Benchmarks.names
+
+let test_io_roundtrip_augmented_shared () =
+  let chip = fig4 () in
+  let grid = Chip.grid chip in
+  let e1 = Option.get (Grid.edge_between_xy grid (1, 2) (1, 3)) in
+  let e2 = Option.get (Grid.edge_between_xy grid (1, 3) (2, 3)) in
+  let aug = Chip.augment chip ~edges:[ e1; e2 ] in
+  let dft0 = Chip.n_original_valves aug in
+  let shared = Chip.with_sharing aug [ (dft0, 3); (dft0 + 1, 5) ] in
+  match Chip_io.parse (Chip_io.to_string shared) with
+  | Error m -> Alcotest.fail m
+  | Ok chip' ->
+    check Alcotest.int "dft preserved" 2
+      (Chip.n_valves chip' - Chip.n_original_valves chip');
+    check Alcotest.int "controls preserved" (Chip.n_controls shared) (Chip.n_controls chip');
+    (* the shared lines drive the same valves after the round-trip *)
+    let lines c =
+      Array.to_list (Chip.valves c)
+      |> List.map (fun (v : Chip.valve) ->
+          List.map (fun (w : Chip.valve) -> w.valve_id) (Chip.valves_of_control c v.control))
+    in
+    check Alcotest.bool "sharing preserved" true (lines shared = lines chip')
+
+let test_io_parse_example () =
+  let text =
+    "# tiny demo\n\
+     chip demo 4 2\n\
+     port 0 0 in\n\
+     port 3 0 out\n\
+     device mixer 1 1 M\n\
+     channel 0,0 1,0 2,0 3,0\n\
+     channel 1,0 1,1\n\
+     valve 0,0 1,0\n\
+     valve 2,0 3,0\n\
+     valve 1,0 1,1\n"
+  in
+  match Chip_io.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok chip ->
+    check Alcotest.string "name" "demo" (Chip.name chip);
+    check Alcotest.int "valves" 3 (Chip.n_valves chip)
+
+let test_io_errors () =
+  let cases =
+    [
+      ("", "empty");
+      ("device mixer 0 0 M\n", "header first");
+      ("chip x 0 3\n", "bad dims");
+      ("chip x 3 3\nwibble 1 2\n", "unknown directive");
+      ("chip x 3 3\nchannel 0,0 2,0\n", "non-adjacent");
+      ("chip x 3 3\nvalve 0,0 1,0\n", "valve without channel");
+      ("chip x 3 3\nchip y 3 3\n", "duplicate header");
+      ("chip x 3 3\nport 0 0 P\n", "fails validation");
+    ]
+  in
+  List.iter
+    (fun (text, label) ->
+      match Chip_io.parse text with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ label)
+      | Error _ -> ())
+    cases
+
+let test_io_load_missing () =
+  match Chip_io.load "/nonexistent/definitely.chip" with
+  | Ok _ -> Alcotest.fail "loaded a ghost"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "mf_arch"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "happy path" `Quick test_builder_happy;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+          Alcotest.test_case "unreachable rejected" `Quick test_unreachable_rejected;
+          Alcotest.test_case "port separation rejected" `Quick test_port_separation_rejected;
+          Alcotest.test_case "one guard valve suffices" `Quick
+            test_port_separation_one_valve_suffices;
+          Alcotest.test_case "single port rejected" `Quick test_single_port_rejected;
+          Alcotest.test_case "valve needs channel" `Quick test_valve_needs_channel;
+          Alcotest.test_case "duplicate valve" `Quick test_duplicate_valve;
+          Alcotest.test_case "channel adjacency" `Quick test_channel_adjacency;
+        ] );
+      ( "augmentation",
+        [
+          Alcotest.test_case "augment" `Quick test_augment;
+          Alcotest.test_case "augment rejects channels" `Quick test_augment_rejects_channel;
+          Alcotest.test_case "with_sharing" `Quick test_with_sharing;
+          Alcotest.test_case "with_sharing rejects" `Quick test_with_sharing_rejects;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "chip_io",
+        [
+          Alcotest.test_case "round-trip benchmarks" `Quick test_io_roundtrip_benchmarks;
+          Alcotest.test_case "round-trip augmented+shared" `Quick
+            test_io_roundtrip_augmented_shared;
+          Alcotest.test_case "parse example" `Quick test_io_parse_example;
+          Alcotest.test_case "parse errors" `Quick test_io_errors;
+          Alcotest.test_case "load missing file" `Quick test_io_load_missing;
+        ] );
+    ]

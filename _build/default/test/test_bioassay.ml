@@ -1,0 +1,240 @@
+module Op = Mf_bioassay.Op
+module Seqgraph = Mf_bioassay.Seqgraph
+module Assays = Mf_bioassay.Assays
+
+let check = Alcotest.check
+
+let count_kind g kind =
+  Array.fold_left (fun n (o : Op.t) -> if o.kind = kind then n + 1 else n) 0 (Seqgraph.ops g)
+
+let test_ivd_shape () =
+  let g = Assays.ivd () in
+  check Alcotest.int "12 ops" 12 (Seqgraph.n_ops g);
+  check Alcotest.int "6 mixes" 6 (count_kind g Op.Mix);
+  check Alcotest.int "6 detects" 6 (count_kind g Op.Detect);
+  check Alcotest.int "6 roots" 6 (List.length (Seqgraph.roots g));
+  check Alcotest.int "shallow" 2 (Seqgraph.depth g)
+
+let test_pid_shape () =
+  let g = Assays.pid () in
+  check Alcotest.int "38 ops" 38 (Seqgraph.n_ops g);
+  check Alcotest.int "19 mixes" 19 (count_kind g Op.Mix);
+  check Alcotest.int "19 detects" 19 (count_kind g Op.Detect);
+  check Alcotest.int "two chain roots" 2 (List.length (Seqgraph.roots g));
+  (* chain of 8 + interp0 + interp1 + detect = 11-deep critical path *)
+  check Alcotest.int "deep" 11 (Seqgraph.depth g)
+
+let test_cpa_shape () =
+  let g = Assays.cpa () in
+  check Alcotest.int "55 ops" 55 (Seqgraph.n_ops g);
+  check Alcotest.int "30 mixes" 30 (count_kind g Op.Mix);
+  check Alcotest.int "25 detects" 25 (count_kind g Op.Detect);
+  check Alcotest.int "5 sample roots" 5 (List.length (Seqgraph.roots g))
+
+let test_fanout_bounded () =
+  (* the chips' storage is finite; assays must keep fan-out modest *)
+  List.iter
+    (fun name ->
+      let g = Option.get (Assays.by_name name) in
+      for i = 0 to Seqgraph.n_ops g - 1 do
+        check Alcotest.bool
+          (Printf.sprintf "%s op %d fan-out <= 3" name i)
+          true
+          (List.length (Seqgraph.succs g i) <= 3)
+      done)
+    Assays.names
+
+let test_by_name () =
+  check Alcotest.bool "ivd" true (Assays.by_name "ivd" <> None);
+  check Alcotest.bool "unknown" true (Assays.by_name "nope" = None);
+  check Alcotest.(list string) "names" [ "ivd"; "pid"; "cpa" ] Assays.names
+
+let test_topological_valid () =
+  List.iter
+    (fun name ->
+      let g = Option.get (Assays.by_name name) in
+      let order = Seqgraph.topological g in
+      check Alcotest.int "complete order" (Seqgraph.n_ops g) (List.length order);
+      let position = Hashtbl.create 64 in
+      List.iteri (fun idx j -> Hashtbl.add position j idx) order;
+      for j = 0 to Seqgraph.n_ops g - 1 do
+        List.iter
+          (fun p ->
+            check Alcotest.bool "pred before succ" true
+              (Hashtbl.find position p < Hashtbl.find position j))
+          (Seqgraph.preds g j)
+      done)
+    Assays.names
+
+let test_roots_sinks_consistent () =
+  List.iter
+    (fun name ->
+      let g = Option.get (Assays.by_name name) in
+      List.iter
+        (fun r -> check Alcotest.(list int) "root has no preds" [] (Seqgraph.preds g r))
+        (Seqgraph.roots g);
+      List.iter
+        (fun s -> check Alcotest.(list int) "sink has no succs" [] (Seqgraph.succs g s))
+        (Seqgraph.sinks g))
+    Assays.names
+
+let test_total_work_positive () =
+  List.iter
+    (fun name ->
+      let g = Option.get (Assays.by_name name) in
+      check Alcotest.bool "positive work" true (Seqgraph.total_work g > 0))
+    Assays.names
+
+let test_create_rejects_cycle () =
+  let ops =
+    [
+      { Op.op_id = 0; kind = Op.Mix; duration = 1; op_name = "a" };
+      { Op.op_id = 1; kind = Op.Mix; duration = 1; op_name = "b" };
+    ]
+  in
+  match Seqgraph.create ops ~edges:[ (0, 1); (1, 0) ] with
+  | Ok _ -> Alcotest.fail "cycle accepted"
+  | Error msg -> check Alcotest.string "message" "sequencing graph has a cycle" msg
+
+let test_create_rejects_bad_ids () =
+  let ops = [ { Op.op_id = 3; kind = Op.Mix; duration = 1; op_name = "a" } ] in
+  match Seqgraph.create ops ~edges:[] with
+  | Ok _ -> Alcotest.fail "bad ids accepted"
+  | Error _ -> ()
+
+let test_create_rejects_bad_edge () =
+  let ops = [ { Op.op_id = 0; kind = Op.Mix; duration = 1; op_name = "a" } ] in
+  match Seqgraph.create ops ~edges:[ (0, 5) ] with
+  | Ok _ -> Alcotest.fail "bad edge accepted"
+  | Error _ -> ()
+
+let test_self_edge_rejected () =
+  let ops = [ { Op.op_id = 0; kind = Op.Mix; duration = 1; op_name = "a" } ] in
+  match Seqgraph.create ops ~edges:[ (0, 0) ] with
+  | Ok _ -> Alcotest.fail "self edge accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Assay_io *)
+
+module Assay_io = Mf_bioassay.Assay_io
+module Synth_assay = Mf_bioassay.Synth_assay
+module Rng = Mf_util.Rng
+
+let graphs_equal a b =
+  Seqgraph.n_ops a = Seqgraph.n_ops b
+  && Array.for_all2
+       (fun (x : Op.t) (y : Op.t) -> x = y)
+       (Seqgraph.ops a) (Seqgraph.ops b)
+  && List.for_all
+       (fun j -> List.sort compare (Seqgraph.preds a j) = List.sort compare (Seqgraph.preds b j))
+       (List.init (Seqgraph.n_ops a) Fun.id)
+
+let test_io_roundtrip_bundled () =
+  List.iter
+    (fun name ->
+      let g = Option.get (Assays.by_name name) in
+      match Assay_io.parse (Assay_io.to_string g) with
+      | Ok g' -> check Alcotest.bool (name ^ " round-trips") true (graphs_equal g g')
+      | Error m -> Alcotest.fail m)
+    Assays.names
+
+let test_io_parse_errors () =
+  List.iter
+    (fun (text, label) ->
+      match Assay_io.parse text with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ label)
+      | Error _ -> ())
+    [
+      ("", "empty");
+      ("op 0 mix 10 a\n", "header first");
+      ("assay x\nop 0 blend 10 a\n", "bad kind");
+      ("assay x\nop 0 mix 0 a\n", "zero duration");
+      ("assay x\nop 1 mix 10 a\n", "sparse ids");
+      ("assay x\nop 0 mix 10 a\ndep 0 5\n", "bad dep");
+      ("assay x\nop 0 mix 10 a\nop 1 mix 10 b\ndep 0 1\ndep 1 0\n", "cycle");
+      ("assay x\nassay y\n", "duplicate header");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Synth_assay *)
+
+let test_synth_spec_respected () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 10 do
+    let g = Synth_assay.generate rng in
+    check Alcotest.int "op count" 20 (Seqgraph.n_ops g);
+    let detects = count_kind g Op.Detect in
+    check Alcotest.bool "some detects" true (detects >= 1 && detects < 20)
+  done
+
+let synth_valid_prop =
+  QCheck.Test.make ~name:"generated assays schedule on ra30" ~count:10 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 50) in
+      let g = Synth_assay.generate rng in
+      (* structural sanity: every mix product consumed *)
+      let ok_structure =
+        List.for_all
+          (fun j -> (Seqgraph.op g j).Op.kind <> Op.Mix || Seqgraph.succs g j <> [])
+          (List.init (Seqgraph.n_ops g) Fun.id)
+      in
+      let chip = Option.get (Mf_chips.Benchmarks.by_name "ra30_chip") in
+      ok_structure && Mf_sched.Scheduler.makespan chip g <> None)
+
+let test_synth_rejects_bad_specs () =
+  let rng = Rng.create ~seed:5 in
+  List.iter
+    (fun spec ->
+      check Alcotest.bool "rejected" true
+        (try
+           ignore (Synth_assay.generate ~spec rng);
+           false
+         with Invalid_argument _ -> true))
+    [
+      { Synth_assay.default_spec with Synth_assay.n_ops = 1 };
+      { Synth_assay.default_spec with Synth_assay.detect_share = 0. };
+      { Synth_assay.default_spec with Synth_assay.max_fanout = 0 };
+    ]
+
+let test_synth_roundtrips () =
+  let rng = Rng.create ~seed:6 in
+  let g = Synth_assay.generate rng in
+  match Assay_io.parse (Assay_io.to_string g) with
+  | Ok g' -> check Alcotest.bool "round-trips" true (graphs_equal g g')
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "mf_bioassay"
+    [
+      ( "assays",
+        [
+          Alcotest.test_case "ivd shape" `Quick test_ivd_shape;
+          Alcotest.test_case "pid shape" `Quick test_pid_shape;
+          Alcotest.test_case "cpa shape" `Quick test_cpa_shape;
+          Alcotest.test_case "fan-out bounded" `Quick test_fanout_bounded;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+      ( "seqgraph",
+        [
+          Alcotest.test_case "topological valid" `Quick test_topological_valid;
+          Alcotest.test_case "roots/sinks" `Quick test_roots_sinks_consistent;
+          Alcotest.test_case "total work" `Quick test_total_work_positive;
+          Alcotest.test_case "rejects cycle" `Quick test_create_rejects_cycle;
+          Alcotest.test_case "rejects bad ids" `Quick test_create_rejects_bad_ids;
+          Alcotest.test_case "rejects bad edge" `Quick test_create_rejects_bad_edge;
+          Alcotest.test_case "rejects self edge" `Quick test_self_edge_rejected;
+        ] );
+      ( "assay_io",
+        [
+          Alcotest.test_case "round-trip bundled" `Quick test_io_roundtrip_bundled;
+          Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+        ] );
+      ( "synth_assay",
+        [
+          Alcotest.test_case "spec respected" `Quick test_synth_spec_respected;
+          Alcotest.test_case "rejects bad specs" `Quick test_synth_rejects_bad_specs;
+          Alcotest.test_case "round-trips" `Quick test_synth_roundtrips;
+          QCheck_alcotest.to_alcotest synth_valid_prop;
+        ] );
+    ]

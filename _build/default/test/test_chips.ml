@@ -1,0 +1,144 @@
+module Chip = Mf_arch.Chip
+module Benchmarks = Mf_chips.Benchmarks
+module Bitset = Mf_util.Bitset
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+
+let check = Alcotest.check
+
+let count_kind chip kind =
+  Array.fold_left (fun n (d : Chip.device) -> if d.kind = kind then n + 1 else n) 0
+    (Chip.devices chip)
+
+(* published resource counts (Table 1 row labels) *)
+let resource_expectations =
+  [
+    ("ivd_chip", 3, 2, 12, 4);
+    ("ra30_chip", 2, 3, 16, 4);
+    ("mrna_chip", 3, 1, 28, 3);
+  ]
+
+let test_resource_counts () =
+  List.iter
+    (fun (name, mixers, detectors, valves, ports) ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      check Alcotest.int (name ^ " mixers") mixers (count_kind chip Chip.Mixer);
+      check Alcotest.int (name ^ " detectors") detectors (count_kind chip Chip.Detector);
+      check Alcotest.int (name ^ " valves") valves (Chip.n_valves chip);
+      check Alcotest.int (name ^ " ports") ports (Array.length (Chip.ports chip));
+      check Alcotest.int (name ^ " controls = valves") valves (Chip.n_controls chip))
+    resource_expectations
+
+let test_no_dft_initially () =
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      check Alcotest.(list int) (name ^ " pristine") [] (Chip.dft_edges chip);
+      check Alcotest.int (name ^ " all original")
+        (Chip.n_valves chip) (Chip.n_original_valves chip))
+    Benchmarks.names
+
+let test_free_edges_exist () =
+  (* DFT needs headroom on the connection grid *)
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let channels = Chip.channel_edges chip in
+      let free = Grid.n_edges (Chip.grid chip) - Bitset.cardinal channels in
+      check Alcotest.bool (name ^ " has free grid edges") true (free > 10))
+    Benchmarks.names
+
+let test_storage_pocket_exists () =
+  (* every chip must offer at least one valve-enclosed pocket with plain
+     endpoints: the scheduler's distributed storage *)
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let g = Grid.graph (Chip.grid chip) in
+      let pockets = ref 0 in
+      Graph.iter_edges
+        (fun e u v ->
+          if Chip.is_channel chip e && Chip.valve_on chip e = None then begin
+            let plain n = Chip.device_at chip n = None && Chip.port_at chip n = None in
+            let boundary n =
+              Graph.incident g n
+              |> List.for_all (fun (f, _) ->
+                  f = e || (not (Chip.is_channel chip f)) || Chip.valve_on chip f <> None)
+            in
+            if plain u && plain v && boundary u && boundary v then incr pockets
+          end)
+        g;
+      check Alcotest.bool (name ^ " has a pocket") true (!pockets >= 1))
+    Benchmarks.names
+
+let test_device_spurs () =
+  (* devices sit on spurs: their node has exactly one incident channel *)
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let g = Grid.graph (Chip.grid chip) in
+      Array.iter
+        (fun (d : Chip.device) ->
+          let channel_degree =
+            Graph.incident g d.node
+            |> List.filter (fun (e, _) -> Chip.is_channel chip e)
+            |> List.length
+          in
+          check Alcotest.int (name ^ " " ^ d.name ^ " on a spur") 1 channel_degree)
+        (Chip.devices chip))
+    Benchmarks.names
+
+let test_ports_behind_valves () =
+  (* each port's entry channel is valved, so all-closed isolates it *)
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let g = Grid.graph (Chip.grid chip) in
+      Array.iter
+        (fun (p : Chip.port) ->
+          Graph.incident g p.node
+          |> List.iter (fun (e, _) ->
+              if Chip.is_channel chip e then
+                check Alcotest.bool
+                  (name ^ " " ^ p.port_name ^ " valved entry")
+                  true
+                  (Chip.valve_on chip e <> None)))
+        (Chip.ports chip))
+    Benchmarks.names
+
+let test_network_connected () =
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let g = Grid.graph (Chip.grid chip) in
+      let channels = Chip.channel_edges chip in
+      let hub = (Chip.ports chip).(0).node in
+      let reach = Traverse.reachable g ~allowed:(Bitset.mem channels) ~src:hub in
+      Array.iter
+        (fun (d : Chip.device) ->
+          check Alcotest.bool (name ^ " device reachable") true (Bitset.mem reach d.node))
+        (Chip.devices chip))
+    Benchmarks.names
+
+let test_by_name_total () =
+  check Alcotest.bool "unknown chip" true (Benchmarks.by_name "nope" = None);
+  List.iter
+    (fun n -> check Alcotest.bool n true (Benchmarks.by_name n <> None))
+    Benchmarks.names
+
+let () =
+  Alcotest.run "mf_chips"
+    [
+      ( "benchmarks",
+        [
+          Alcotest.test_case "resource counts" `Quick test_resource_counts;
+          Alcotest.test_case "no DFT initially" `Quick test_no_dft_initially;
+          Alcotest.test_case "free edges exist" `Quick test_free_edges_exist;
+          Alcotest.test_case "storage pockets" `Quick test_storage_pocket_exists;
+          Alcotest.test_case "device spurs" `Quick test_device_spurs;
+          Alcotest.test_case "ports behind valves" `Quick test_ports_behind_valves;
+          Alcotest.test_case "network connected" `Quick test_network_connected;
+          Alcotest.test_case "by_name" `Quick test_by_name_total;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+module Chip = Mf_arch.Chip
+module Control = Mf_control.Control
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Benchmarks = Mf_chips.Benchmarks
+
+let check = Alcotest.check
+
+let test_benchmarks_route () =
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let layout = Control.synthesize chip in
+      check Alcotest.(list int) (name ^ " fully routed") [] layout.Control.unrouted;
+      check Alcotest.int (name ^ " one port per line") (Chip.n_controls chip)
+        (Control.n_ports layout);
+      check Alcotest.bool (name ^ " has length") true (Control.total_length layout > 0))
+    Benchmarks.names
+
+let test_unshared_lines_have_zero_skew () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let layout = Control.synthesize chip in
+  List.iter
+    (fun (r : Control.route) ->
+      match Control.skew layout ~line:r.Control.line with
+      | Some s -> check (Alcotest.float 1e-9) "skew zero" 0. s
+      | None -> Alcotest.fail "routed line must have skew")
+    layout.Control.routes;
+  check (Alcotest.float 1e-9) "max skew" 0. (Control.max_skew layout)
+
+let test_delays_positive_and_monotone () =
+  let chip = Option.get (Benchmarks.by_name "ra30_chip") in
+  let layout = Control.synthesize chip in
+  for v = 0 to Chip.n_valves chip - 1 do
+    match Control.actuation_delay layout ~valve:v with
+    | Some d -> check Alcotest.bool "delay >= beta" true (d >= 2.0)
+    | None -> Alcotest.fail "benchmark valve must be routed"
+  done;
+  (* alpha scales the delay *)
+  let d1 = Option.get (Control.actuation_delay ~alpha:1.0 layout ~valve:0) in
+  let d2 = Option.get (Control.actuation_delay ~alpha:2.0 layout ~valve:0) in
+  check Alcotest.bool "alpha scales" true (d2 > d1)
+
+let test_trees_are_disjoint () =
+  let chip = Option.get (Benchmarks.by_name "mrna_chip") in
+  let layout = Control.synthesize chip in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Control.route) ->
+      List.iter
+        (fun e ->
+          check Alcotest.bool "edge used once" false (Hashtbl.mem seen e);
+          Hashtbl.replace seen e ())
+        r.Control.tree_edges)
+    layout.Control.routes
+
+let test_trees_connect_taps_to_port () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let layout = Control.synthesize chip in
+  let g = layout.Control.layer_graph in
+  List.iter
+    (fun (r : Control.route) ->
+      let member = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace member e ()) r.Control.tree_edges;
+      let allowed e = Hashtbl.mem member e in
+      let reach = Mf_graph.Traverse.reachable g ~allowed ~src:r.Control.port_node in
+      List.iter
+        (fun (_, tap) ->
+          check Alcotest.bool "tap reachable from port" true (Mf_util.Bitset.mem reach tap))
+        r.Control.taps)
+    layout.Control.routes
+
+let test_sharing_reduces_ports () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  match Mf_testgen.Pathgen.generate ~node_limit:300 chip with
+  | Error m -> Alcotest.fail m
+  | Ok config ->
+    let aug = Mf_testgen.Pathgen.apply chip config in
+    let dfts =
+      Array.to_list (Chip.valves aug)
+      |> List.filter_map (fun (v : Chip.valve) -> if v.is_dft then Some v.valve_id else None)
+    in
+    (* nest-friendly sharing: every DFT valve borrows from valve 0 *)
+    let shared = Chip.with_sharing aug (List.map (fun d -> (d, 0)) dfts) in
+    let free_layout = Control.synthesize aug in
+    let shared_layout = Control.synthesize shared in
+    check Alcotest.bool "shared needs fewer ports" true
+      (Control.n_ports shared_layout + List.length shared_layout.Control.unrouted
+      < Control.n_ports free_layout + List.length free_layout.Control.unrouted);
+    (* the original chip's port count is the budget sharing must respect *)
+    check Alcotest.bool "no more lines than original valves" true
+      (Chip.n_controls shared <= Chip.n_original_valves aug)
+
+let test_ports_on_boundary () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let layout = Control.synthesize chip in
+  let g = layout.Control.layer_graph in
+  let n = Graph.n_nodes g in
+  (* boundary nodes have degree < 4 on a grid *)
+  List.iter
+    (fun (r : Control.route) ->
+      check Alcotest.bool "port on boundary" true
+        (r.Control.port_node >= 0 && r.Control.port_node < n
+        && Graph.degree g r.Control.port_node < 4))
+    layout.Control.routes
+
+let () =
+  Alcotest.run "mf_control"
+    [
+      ( "control",
+        [
+          Alcotest.test_case "benchmarks route" `Quick test_benchmarks_route;
+          Alcotest.test_case "zero skew unshared" `Quick test_unshared_lines_have_zero_skew;
+          Alcotest.test_case "delays" `Quick test_delays_positive_and_monotone;
+          Alcotest.test_case "trees disjoint" `Quick test_trees_are_disjoint;
+          Alcotest.test_case "taps connected" `Quick test_trees_connect_taps_to_port;
+          Alcotest.test_case "sharing reduces ports" `Quick test_sharing_reduces_ports;
+          Alcotest.test_case "ports on boundary" `Quick test_ports_on_boundary;
+        ] );
+    ]

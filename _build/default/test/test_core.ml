@@ -1,0 +1,184 @@
+module Chip = Mf_arch.Chip
+module Rng = Mf_util.Rng
+module Benchmarks = Mf_chips.Benchmarks
+module Assays = Mf_bioassay.Assays
+module Vectors = Mf_testgen.Vectors
+module Sharing = Mfdft.Sharing
+module Pool = Mfdft.Pool
+module Codesign = Mfdft.Codesign
+
+let check = Alcotest.check
+
+let ivd_pool =
+  (* built once: pool construction is the expensive part *)
+  lazy
+    (let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+     let rng = Rng.create ~seed:11 in
+     match Pool.build ~size:3 ~node_limit:500 ~rng chip with
+     | Ok pool -> (chip, pool)
+     | Error m -> Alcotest.fail m)
+
+let test_pool_entries_valid () =
+  let _, pool = Lazy.force ivd_pool in
+  check Alcotest.bool "non-empty" true (Pool.size pool >= 1);
+  Array.iter
+    (fun (entry : Pool.entry) ->
+      check Alcotest.bool "suite valid pre-sharing" true
+        (Vectors.is_valid entry.Pool.augmented entry.Pool.suite);
+      check Alcotest.bool "has dft valves" true (Chip.dft_edges entry.Pool.augmented <> []))
+    (Pool.entries pool)
+
+let test_pool_decode_total () =
+  let _, pool = Lazy.force ivd_pool in
+  let dims = Array.length (Pool.free_edges pool) in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 20 do
+    let position = Array.init dims (fun _ -> Rng.uniform rng) in
+    let entry = Pool.decode pool position in
+    check Alcotest.bool "decoded entry from pool" true
+      (Array.exists (fun e -> e == entry) (Pool.entries pool))
+  done
+
+let test_sharing_decode_bounds () =
+  let _, pool = Lazy.force ivd_pool in
+  let entry = (Pool.entries pool).(0) in
+  let aug = entry.Pool.augmented in
+  let dims = Sharing.dimensions aug in
+  check Alcotest.int "one dim per dft valve"
+    (Chip.n_valves aug - Chip.n_original_valves aug)
+    dims;
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 20 do
+    let position = Array.init dims (fun _ -> Rng.uniform rng) in
+    let scheme = Sharing.decode aug position in
+    check Alcotest.int "full assignment" dims (Sharing.n_shared scheme);
+    List.iter
+      (fun (dft, orig) ->
+        check Alcotest.bool "dft id" true (Chip.valves aug).(dft).Chip.is_dft;
+        check Alcotest.bool "orig id" true (orig >= 0 && orig < Chip.n_original_valves aug))
+      scheme
+  done
+
+let test_sharing_extremes () =
+  let _, pool = Lazy.force ivd_pool in
+  let entry = (Pool.entries pool).(0) in
+  let aug = entry.Pool.augmented in
+  let dims = Sharing.dimensions aug in
+  (* positions 0.0 and 1.0 must clamp into range, not crash *)
+  List.iter
+    (fun v ->
+      let scheme = Sharing.decode aug (Array.make dims v) in
+      ignore (Sharing.apply aug scheme))
+    [ 0.0; 0.999999; 1.0 ]
+
+let test_sharing_apply_reduces_lines () =
+  let _, pool = Lazy.force ivd_pool in
+  let entry = (Pool.entries pool).(0) in
+  let aug = entry.Pool.augmented in
+  let rng = Rng.create ~seed:6 in
+  let scheme = Sharing.random rng aug in
+  let shared = Sharing.apply aug scheme in
+  check Alcotest.int "no extra control lines"
+    (Chip.n_original_valves aug)
+    (Chip.n_controls shared)
+
+let test_codesign_smallest () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  let params =
+    {
+      Codesign.quick_params with
+      Codesign.pool_size = 2;
+      ilp_node_limit = 300;
+      outer = { Mf_pso.Pso.default_params with particles = 3; iterations = 3 };
+      inner = { Mf_pso.Pso.default_params with particles = 3; iterations = 3 };
+    }
+  in
+  match Codesign.run ~params chip app with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check Alcotest.bool "original schedules" true (r.Codesign.exec_original <> None);
+    check Alcotest.bool "unshared dft schedules" true (r.Codesign.exec_dft_unshared <> None);
+    check Alcotest.bool "dft valves reported" true (r.Codesign.n_dft_valves > 0);
+    check Alcotest.int "trace per iteration" 3 (List.length r.Codesign.trace);
+    check Alcotest.bool "vector count positive" true (r.Codesign.n_vectors_dft > 0);
+    (* with a valid final sharing, the suite must be complete on the shared chip *)
+    (match r.Codesign.exec_final with
+     | Some final ->
+       check Alcotest.bool "suite valid on shared chip" true
+         (Vectors.is_valid r.Codesign.shared r.Codesign.suite);
+       check Alcotest.bool "final at least critical path" true (final > 0);
+       (match r.Codesign.exec_dft_unshared with
+        | Some unshared -> check Alcotest.bool "sharing never beats free control" true (final >= unshared)
+        | None -> ())
+     | None -> ())
+
+let test_codesign_deterministic () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  let params =
+    {
+      Codesign.quick_params with
+      Codesign.pool_size = 1;
+      ilp_node_limit = 200;
+      outer = { Mf_pso.Pso.default_params with particles = 2; iterations = 2 };
+      inner = { Mf_pso.Pso.default_params with particles = 2; iterations = 2 };
+    }
+  in
+  let run () =
+    match Codesign.run ~params chip app with
+    | Ok r -> (r.Codesign.exec_final, r.Codesign.n_dft_valves, r.Codesign.trace)
+    | Error m -> Alcotest.fail m
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "deterministic" true (a = b)
+
+let test_report () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  let params =
+    {
+      Codesign.quick_params with
+      Codesign.pool_size = 1;
+      ilp_node_limit = 200;
+      outer = { Mf_pso.Pso.default_params with particles = 2; iterations = 2 };
+      inner = { Mf_pso.Pso.default_params with particles = 2; iterations = 2 };
+    }
+  in
+  match Codesign.run ~params chip app with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    let md = Mfdft.Report.markdown r in
+    let contains needle =
+      let nl = String.length needle and hl = String.length md in
+      let rec go i = i + nl <= hl && (String.sub md i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "has title" true (contains "# DFT codesign report");
+    check Alcotest.bool "names the chip" true (contains "IVD_chip");
+    check Alcotest.bool "test program section" true (contains "Test program");
+    check Alcotest.bool "sharing table" true (contains "shares the line of");
+    check Alcotest.bool "execution table" true (contains "makespan");
+    check Alcotest.bool "control layer line" true (contains "Control layer")
+
+let () =
+  Alcotest.run "mfdft"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "entries valid" `Quick test_pool_entries_valid;
+          Alcotest.test_case "decode total" `Quick test_pool_decode_total;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "decode bounds" `Quick test_sharing_decode_bounds;
+          Alcotest.test_case "extremes" `Quick test_sharing_extremes;
+          Alcotest.test_case "apply reduces lines" `Quick test_sharing_apply_reduces_lines;
+        ] );
+      ( "codesign",
+        [
+          Alcotest.test_case "smallest run" `Slow test_codesign_smallest;
+          Alcotest.test_case "deterministic" `Slow test_codesign_deterministic;
+          Alcotest.test_case "markdown report" `Slow test_report;
+        ] );
+    ]

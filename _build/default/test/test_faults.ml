@@ -1,0 +1,200 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Vector = Mf_faults.Vector
+module Pressure = Mf_faults.Pressure
+module Fault = Mf_faults.Fault
+module Coverage = Mf_faults.Coverage
+
+let check = Alcotest.check
+
+(* Straight-line chip: P0 -v0- n1 -v1- n2(Mixer? no device needed)... use
+   P0 (0,0) -- (1,0) -- (2,0) -- (3,0) = P1 with valves on first and last
+   edges, middle edge unvalved; plus a stub device for validation. *)
+let line_chip () =
+  let b = Chip.builder ~name:"line" ~width:4 ~height:2 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_port b ~x:3 ~y:0 ~name:"P1";
+  Chip.add_device b ~kind:Chip.Mixer ~x:1 ~y:1 ~name:"M";
+  Chip.add_channel b [ (0, 0); (1, 0); (2, 0); (3, 0) ];
+  Chip.add_channel b [ (1, 0); (1, 1) ];
+  Chip.add_valve b (0, 0) (1, 0);
+  Chip.add_valve b (2, 0) (3, 0);
+  Chip.add_valve b (1, 0) (1, 1);
+  Chip.finish_exn b
+
+let edge chip a b = Option.get (Grid.edge_between_xy (Chip.grid chip) a b)
+let node chip (x, y) = Grid.node (Chip.grid chip) ~x ~y
+
+let line_path chip =
+  [ edge chip (0, 0) (1, 0); edge chip (1, 0) (2, 0); edge chip (2, 0) (3, 0) ]
+
+let test_fault_universe () =
+  let chip = line_chip () in
+  let faults = Fault.all chip in
+  (* 4 channel edges (SA0) + 3 valves (SA1) *)
+  check Alcotest.int "fault count" 7 (List.length faults)
+
+let test_path_vector_reading () =
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  let vec = Vector.of_path chip ~source:s ~meters:[ t ] (line_path chip) in
+  check Alcotest.bool "fault-free reads pressure" true (Pressure.reading chip vec);
+  check Alcotest.bool "well formed" true (Pressure.well_formed chip vec);
+  (* the side spur's valve is closed by the vector *)
+  let spur = edge chip (1, 0) (1, 1) in
+  check Alcotest.bool "spur closed" false
+    (Pressure.conducts chip ~active_lines:vec.Vector.active_lines spur)
+
+let test_path_detects_sa0 () =
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  let vec = Vector.of_path chip ~source:s ~meters:[ t ] (line_path chip) in
+  List.iter
+    (fun e ->
+      check Alcotest.bool "sa0 on path detected" true
+        (Pressure.detects chip vec (Fault.Stuck_at_0 e)))
+    (line_path chip);
+  (* blockage off-path is invisible to this vector *)
+  let spur = edge chip (1, 0) (1, 1) in
+  check Alcotest.bool "sa0 off path not detected" false
+    (Pressure.detects chip vec (Fault.Stuck_at_0 spur))
+
+let test_cut_vector () =
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  (* closing valve 0 separates the line *)
+  let vec = Vector.of_cut chip ~source:s ~meters:[ t ] [ 0 ] in
+  check Alcotest.bool "fault-free silent" true (Pressure.well_formed chip vec);
+  check Alcotest.bool "leak detected" true (Pressure.detects chip vec (Fault.Stuck_at_1 0));
+  (* valve 1 leaking does not matter when valve 0 holds *)
+  check Alcotest.bool "other leak masked" false (Pressure.detects chip vec (Fault.Stuck_at_1 1))
+
+let test_malformed_cut () =
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  (* closing only the spur valve does not separate source from meter *)
+  let vec = Vector.of_cut chip ~source:s ~meters:[ t ] [ 2 ] in
+  check Alcotest.bool "not well formed" false (Pressure.well_formed chip vec)
+
+let test_sharing_masks_leak () =
+  (* Fig. 6 scenario on a purpose-built chip: the only leak route from the
+     cut valve to the meter runs through a DFT valve; once the two share a
+     control line the leak is masked. *)
+  let b = Chip.builder ~name:"fig6" ~width:4 ~height:2 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_port b ~x:3 ~y:0 ~name:"P1";
+  Chip.add_device b ~kind:Chip.Mixer ~x:1 ~y:1 ~name:"M";
+  (* top line broken in the middle: (1,0)-(2,0) is free grid space *)
+  Chip.add_channel b [ (0, 0); (1, 0) ];
+  Chip.add_channel b [ (2, 0); (3, 0) ];
+  (* detour through the bottom row keeps the chip connected *)
+  Chip.add_channel b [ (1, 0); (1, 1); (2, 1); (2, 0) ];
+  Chip.add_valve b (0, 0) (1, 0);
+  Chip.add_valve b (2, 0) (3, 0);
+  Chip.add_valve b (1, 1) (2, 1);
+  let chip = Chip.finish_exn b in
+  let grid = Chip.grid chip in
+  let bridge = Option.get (Grid.edge_between_xy grid (1, 0) (2, 0)) in
+  let aug = Chip.augment chip ~edges:[ bridge ] in
+  let dft = (Option.get (Chip.valve_on aug bridge)).valve_id in
+  let s = Grid.node grid ~x:0 ~y:0 and t = Grid.node grid ~x:3 ~y:0 in
+  (* cut {v0, v2} isolates the source; v0's leak can only reach the meter
+     over the DFT bridge *)
+  let cut = [ 0; 2 ] in
+  let vec = Vector.of_cut aug ~source:s ~meters:[ t ] cut in
+  check Alcotest.bool "cut valid pre-sharing" true (Pressure.well_formed aug vec);
+  check Alcotest.bool "leak at v0 detected pre-sharing" true
+    (Pressure.detects aug vec (Fault.Stuck_at_1 0));
+  let shared = Chip.with_sharing aug [ (dft, 0) ] in
+  let vec' = Vector.of_cut shared ~source:s ~meters:[ t ] cut in
+  check Alcotest.bool "cut still well-formed" true (Pressure.well_formed shared vec');
+  check Alcotest.bool "leak at v0 masked by sharing" false
+    (Pressure.detects shared vec' (Fault.Stuck_at_1 0))
+
+let test_coverage_report () =
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  let path_vec = Vector.of_path chip ~source:s ~meters:[ t ] (line_path chip) in
+  let spur_path =
+    [ edge chip (0, 0) (1, 0); edge chip (1, 0) (1, 1) ]
+  in
+  let spur_vec =
+    (* source P0 to the spur end: meter must be a port in reality, but the
+       simulator accepts any observation node; coverage semantics only *)
+    Vector.of_path chip ~source:s ~meters:[ node chip (1, 1) ] spur_path
+  in
+  let cut0 = Vector.of_cut chip ~source:s ~meters:[ t ] [ 0 ] in
+  let cut1 =
+    Vector.of_cut chip ~source:s ~meters:[ t ] [ 1; 2 ]
+  in
+  let report = Coverage.measure chip [ path_vec; spur_vec; cut0; cut1 ] in
+  check Alcotest.int "malformed" 0 report.Coverage.malformed;
+  check Alcotest.bool "sa1 of valve 2 undetected (dead-end spur)" true
+    (List.mem 2 report.Coverage.sa1_undetected);
+  check Alcotest.bool "ratio below one" true (Coverage.ratio report < 1.);
+  check Alcotest.bool "not complete" false (Coverage.complete report)
+
+let test_detect_symmetry () =
+  (* detection is symmetric in source/meter: ports are interchangeable *)
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  let forward = Vector.of_path chip ~source:s ~meters:[ t ] (line_path chip) in
+  let backward = Vector.of_path chip ~source:t ~meters:[ s ] (List.rev (line_path chip)) in
+  List.iter
+    (fun f ->
+      check Alcotest.bool "same verdict" (Pressure.detects chip forward f)
+        (Pressure.detects chip backward f))
+    (Fault.all chip)
+
+let test_leak_semantics () =
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  (* cut on valve 0: its line is pressurised; a leak at valve 0 floods the
+     line from the seat to the meter (everything else open) *)
+  let vec = Vector.of_cut chip ~source:s ~meters:[ t ] [ 0 ] in
+  check Alcotest.bool "leak at cut valve detected" true
+    (Pressure.detects chip vec (Fault.Leak 0));
+  (* valve 1's line is inactive in that vector: no control pressure, no leak *)
+  check Alcotest.bool "inactive line cannot leak" false
+    (Pressure.detects chip vec (Fault.Leak 1));
+  (* a path vector keeps its meters pressurised anyway: leak invisible *)
+  let path_vec = Vector.of_path chip ~source:s ~meters:[ t ] (line_path chip) in
+  check Alcotest.bool "leak invisible on a conducting path" false
+    (Pressure.detects chip path_vec (Fault.Leak 2))
+
+let test_leak_universe () =
+  let chip = line_chip () in
+  check Alcotest.int "universe grows by one per valve"
+    (List.length (Fault.all chip) + Chip.n_valves chip)
+    (List.length (Fault.all_with_leaks chip))
+
+let test_leak_coverage_via_cuts () =
+  (* the cut that proves a valve can close also proves its membrane does
+     not leak: same vector, same observation *)
+  let chip = line_chip () in
+  let s = node chip (0, 0) and t = node chip (3, 0) in
+  let cut0 = Vector.of_cut chip ~source:s ~meters:[ t ] [ 0 ] in
+  let cut1 = Vector.of_cut chip ~source:s ~meters:[ t ] [ 1; 2 ] in
+  let report = Coverage.measure ~include_leaks:true chip [ cut0; cut1 ] in
+  (* valve 2 guards a dead-end spur: its leak floods only the spur *)
+  check Alcotest.(list int) "only the spur valve's leak escapes" [ 2 ]
+    report.Coverage.leak_undetected
+
+let () =
+  Alcotest.run "mf_faults"
+    [
+      ( "pressure",
+        [
+          Alcotest.test_case "fault universe" `Quick test_fault_universe;
+          Alcotest.test_case "path vector reading" `Quick test_path_vector_reading;
+          Alcotest.test_case "path detects sa0" `Quick test_path_detects_sa0;
+          Alcotest.test_case "cut vector" `Quick test_cut_vector;
+          Alcotest.test_case "malformed cut" `Quick test_malformed_cut;
+          Alcotest.test_case "sharing masks leak (Fig 6)" `Quick test_sharing_masks_leak;
+          Alcotest.test_case "coverage report" `Quick test_coverage_report;
+          Alcotest.test_case "detection symmetry" `Quick test_detect_symmetry;
+          Alcotest.test_case "leak semantics" `Quick test_leak_semantics;
+          Alcotest.test_case "leak universe" `Quick test_leak_universe;
+          Alcotest.test_case "leak coverage via cuts" `Quick test_leak_coverage_via_cuts;
+        ] );
+    ]

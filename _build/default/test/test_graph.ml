@@ -1,0 +1,207 @@
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+module Flow = Mf_graph.Flow
+module Bitset = Mf_util.Bitset
+module Rng = Mf_util.Rng
+
+let check = Alcotest.check
+let all _ = true
+
+(*  0 -e0- 1 -e1- 2
+    |             |
+    e2            e3
+    |             |
+    3 -e4- 4 -e5- 5    plus e6: 1-4 *)
+let sample () =
+  let g = Graph.create ~n:6 in
+  let e0 = Graph.add_edge g 0 1 in
+  let e1 = Graph.add_edge g 1 2 in
+  let e2 = Graph.add_edge g 0 3 in
+  let e3 = Graph.add_edge g 2 5 in
+  let e4 = Graph.add_edge g 3 4 in
+  let e5 = Graph.add_edge g 4 5 in
+  let e6 = Graph.add_edge g 1 4 in
+  (g, [| e0; e1; e2; e3; e4; e5; e6 |])
+
+let test_graph_basic () =
+  let g, es = sample () in
+  check Alcotest.int "nodes" 6 (Graph.n_nodes g);
+  check Alcotest.int "edges" 7 (Graph.n_edges g);
+  check Alcotest.(pair int int) "endpoints" (0, 1) (Graph.endpoints g es.(0));
+  check Alcotest.int "other endpoint" 1 (Graph.other_endpoint g ~edge:es.(0) 0);
+  check Alcotest.int "degree of 1" 3 (Graph.degree g 1);
+  check Alcotest.(option int) "find edge" (Some es.(6)) (Graph.find_edge g 1 4);
+  check Alcotest.(option int) "find edge sym" (Some es.(6)) (Graph.find_edge g 4 1);
+  check Alcotest.(option int) "no edge" None (Graph.find_edge g 0 5)
+
+let test_graph_rejects () =
+  let g = Graph.create ~n:3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      ignore (Graph.add_edge g 1 1));
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.add_edge: node out of range")
+    (fun () -> ignore (Graph.add_edge g 0 3))
+
+let test_reachable () =
+  let g, es = sample () in
+  let r = Traverse.reachable g ~allowed:all ~src:0 in
+  check Alcotest.int "all reachable" 6 (Bitset.cardinal r);
+  (* cut the graph: disable e2, e6, e1 -> {0,1} vs rest *)
+  let blocked e = e <> es.(1) && e <> es.(2) && e <> es.(6) in
+  let r = Traverse.reachable g ~allowed:blocked ~src:0 in
+  check Alcotest.(list int) "component of 0" [ 0; 1 ] (Bitset.elements r)
+
+let test_connected () =
+  let g, es = sample () in
+  check Alcotest.bool "connected" true (Traverse.connected g ~allowed:all 0 5);
+  let only_top e = e = es.(0) || e = es.(1) in
+  check Alcotest.bool "partial" true (Traverse.connected g ~allowed:only_top 0 2);
+  check Alcotest.bool "not connected" false (Traverse.connected g ~allowed:only_top 0 4)
+
+let test_bfs_path () =
+  let g, es = sample () in
+  (match Traverse.bfs_path g ~allowed:all ~src:0 ~dst:5 with
+   | None -> Alcotest.fail "expected a path"
+   | Some path ->
+     check Alcotest.int "shortest length" 3 (List.length path);
+     (* path must be a walk from 0 to 5 *)
+     let nodes = Traverse.path_nodes g ~src:0 path in
+     check Alcotest.int "ends at 5" 5 (List.nth nodes (List.length nodes - 1)));
+  check Alcotest.bool "same node" true (Traverse.bfs_path g ~allowed:all ~src:2 ~dst:2 = Some []);
+  let none e = e = es.(0) in
+  check Alcotest.bool "unreachable" true (Traverse.bfs_path g ~allowed:none ~src:0 ~dst:5 = None)
+
+let test_bfs_dist () =
+  let g, _ = sample () in
+  let dist = Traverse.bfs_dist g ~allowed:all ~src:0 in
+  check Alcotest.int "d(0)" 0 dist.(0);
+  check Alcotest.int "d(1)" 1 dist.(1);
+  check Alcotest.int "d(4)" 2 dist.(4);
+  check Alcotest.int "d(5)" 3 dist.(5)
+
+let test_dijkstra () =
+  let g, es = sample () in
+  (* make the direct top route expensive *)
+  let weight e = if e = es.(1) then 10. else 1. in
+  match Traverse.dijkstra g ~allowed:all ~weight ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "expected a path"
+  | Some (cost, path) ->
+    (* 0-1 (1) + 1-4 (1) + 4-5 (1) + 5-2 (1) = 4 beats 0-1-2 = 11 *)
+    check (Alcotest.float 1e-9) "cheap detour" 4. cost;
+    check Alcotest.int "path length" 4 (List.length path)
+
+let test_components () =
+  let g, es = sample () in
+  let comps = Traverse.components g ~allowed:all in
+  check Alcotest.int "one component" 1 (List.length comps);
+  let without e = e <> es.(2) && e <> es.(6) && e <> es.(3) in
+  let comps = Traverse.components g ~allowed:without in
+  check Alcotest.int "two components" 2 (List.length comps)
+
+let test_path_nodes () =
+  let g, es = sample () in
+  let nodes = Traverse.path_nodes g ~src:0 [ es.(0); es.(6); es.(5) ] in
+  check Alcotest.(list int) "node sequence" [ 0; 1; 4; 5 ] nodes
+
+(* ------------------------------------------------------------------ *)
+(* Flow *)
+
+let test_max_flow_basic () =
+  let g, _ = sample () in
+  (* two edge-disjoint 0-5 paths exist: 0-1-2-5 and 0-3-4-5 *)
+  let flow = Flow.max_flow g ~allowed:all ~capacity:(fun _ -> 1) ~src:0 ~dst:5 in
+  check Alcotest.int "unit flow value" 2 flow
+
+let test_min_cut_separates () =
+  let g, _ = sample () in
+  let value, cut = Flow.min_cut g ~allowed:all ~capacity:(fun _ -> 1) ~src:0 ~dst:5 in
+  check Alcotest.int "cut value" 2 value;
+  check Alcotest.int "cut size" 2 (List.length cut);
+  let open_edges e = not (List.mem e cut) in
+  check Alcotest.bool "cut separates" false (Traverse.connected g ~allowed:open_edges 0 5)
+
+let test_min_cut_capacities () =
+  let g = Graph.create ~n:4 in
+  let e0 = Graph.add_edge g 0 1 in
+  let e1 = Graph.add_edge g 1 2 in
+  let e2 = Graph.add_edge g 2 3 in
+  let cap e = if e = e1 then 1 else 5 in
+  let value, cut = Flow.min_cut g ~allowed:all ~capacity:cap ~src:0 ~dst:3 in
+  check Alcotest.int "bottleneck" 1 value;
+  check Alcotest.(list int) "cut is the bottleneck" [ e1 ] cut;
+  ignore (e0, e2)
+
+let test_min_cut_disconnected () =
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 2 3);
+  let value, cut = Flow.min_cut g ~allowed:all ~capacity:(fun _ -> 1) ~src:0 ~dst:3 in
+  check Alcotest.int "no flow" 0 value;
+  check Alcotest.(list int) "empty cut" [] cut
+
+(* random graphs: min cut found by Flow must really separate, and its value
+   must equal max flow *)
+let flow_cut_prop =
+  QCheck.Test.make ~name:"min cut separates and matches max flow" ~count:100
+    QCheck.(pair int int)
+    (fun (seed, _) ->
+      let rng = Rng.create ~seed:(abs seed) in
+      let n = 6 + Rng.int rng 6 in
+      let g = Graph.create ~n in
+      for _ = 1 to 2 * n do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then ignore (Graph.add_edge g u v)
+      done;
+      let src = 0 and dst = n - 1 in
+      let value, cut = Flow.min_cut g ~allowed:all ~capacity:(fun _ -> 1) ~src ~dst in
+      let flow = Flow.max_flow g ~allowed:all ~capacity:(fun _ -> 1) ~src ~dst in
+      let open_edges e = not (List.mem e cut) in
+      value = flow
+      && value = List.length cut
+      && not (Traverse.connected g ~allowed:open_edges src dst))
+
+let bfs_shortest_prop =
+  QCheck.Test.make ~name:"bfs_path length equals bfs_dist" ~count:100 QCheck.int (fun seed ->
+      let rng = Rng.create ~seed:(abs seed) in
+      let n = 5 + Rng.int rng 8 in
+      let g = Graph.create ~n in
+      for _ = 1 to 2 * n do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then ignore (Graph.add_edge g u v)
+      done;
+      let dist = Traverse.bfs_dist g ~allowed:all ~src:0 in
+      List.for_all
+        (fun dst ->
+          match Traverse.bfs_path g ~allowed:all ~src:0 ~dst with
+          | None -> dist.(dst) = max_int
+          | Some path -> List.length path = dist.(dst))
+        (List.init n Fun.id))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mf_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "rejects" `Quick test_graph_rejects;
+        ] );
+      ( "traverse",
+        [
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "bfs path" `Quick test_bfs_path;
+          Alcotest.test_case "bfs dist" `Quick test_bfs_dist;
+          Alcotest.test_case "dijkstra" `Quick test_dijkstra;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "path nodes" `Quick test_path_nodes;
+          qt bfs_shortest_prop;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "max flow" `Quick test_max_flow_basic;
+          Alcotest.test_case "min cut separates" `Quick test_min_cut_separates;
+          Alcotest.test_case "capacities" `Quick test_min_cut_capacities;
+          Alcotest.test_case "disconnected" `Quick test_min_cut_disconnected;
+          qt flow_cut_prop;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+
+let check = Alcotest.check
+
+let test_dimensions () =
+  let g = Grid.create ~width:4 ~height:3 in
+  check Alcotest.int "width" 4 (Grid.width g);
+  check Alcotest.int "height" 3 (Grid.height g);
+  check Alcotest.int "nodes" 12 (Grid.n_nodes g);
+  (* 4x3 grid: 3*3 horizontal + 4*2 vertical = 17 edges *)
+  check Alcotest.int "edges" 17 (Grid.n_edges g)
+
+let test_node_coords_roundtrip () =
+  let g = Grid.create ~width:5 ~height:4 in
+  for x = 0 to 4 do
+    for y = 0 to 3 do
+      let n = Grid.node g ~x ~y in
+      check Alcotest.(pair int int) "roundtrip" (x, y) (Grid.coords g n)
+    done
+  done
+
+let test_node_bounds () =
+  let g = Grid.create ~width:3 ~height:3 in
+  Alcotest.check_raises "x out of range" (Invalid_argument "Grid.node: (3,0) outside 3x3")
+    (fun () -> ignore (Grid.node g ~x:3 ~y:0))
+
+let test_edges_between () =
+  let g = Grid.create ~width:3 ~height:3 in
+  let a = Grid.node g ~x:0 ~y:0 and b = Grid.node g ~x:1 ~y:0 in
+  check Alcotest.bool "adjacent" true (Grid.edge_between g a b <> None);
+  check Alcotest.bool "symmetric" true (Grid.edge_between g b a = Grid.edge_between g a b);
+  let c = Grid.node g ~x:2 ~y:2 in
+  check Alcotest.bool "not adjacent" true (Grid.edge_between g a c = None);
+  check Alcotest.bool "xy variant" true (Grid.edge_between_xy g (0, 0) (0, 1) <> None)
+
+let test_degrees () =
+  let g = Grid.create ~width:3 ~height:3 in
+  let graph = Grid.graph g in
+  check Alcotest.int "corner degree" 2 (Graph.degree graph (Grid.node g ~x:0 ~y:0));
+  check Alcotest.int "side degree" 3 (Graph.degree graph (Grid.node g ~x:1 ~y:0));
+  check Alcotest.int "centre degree" 4 (Graph.degree graph (Grid.node g ~x:1 ~y:1))
+
+let test_manhattan () =
+  let g = Grid.create ~width:6 ~height:6 in
+  let a = Grid.node g ~x:1 ~y:2 and b = Grid.node g ~x:4 ~y:0 in
+  check Alcotest.int "manhattan" 5 (Grid.manhattan g a b);
+  check Alcotest.int "self distance" 0 (Grid.manhattan g a a)
+
+let test_single_row () =
+  let g = Grid.create ~width:5 ~height:1 in
+  check Alcotest.int "line edges" 4 (Grid.n_edges g)
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty grid" (Invalid_argument "Grid.create: empty grid") (fun () ->
+      ignore (Grid.create ~width:0 ~height:3))
+
+let grid_edge_prop =
+  QCheck.Test.make ~name:"every grid edge joins manhattan-1 nodes" ~count:20
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (w, h) ->
+      let g = Grid.create ~width:w ~height:h in
+      let ok = ref true in
+      Graph.iter_edges
+        (fun _ u v -> if Grid.manhattan g u v <> 1 then ok := false)
+        (Grid.graph g);
+      (* count check: edges = (w-1)h + w(h-1) *)
+      !ok && Grid.n_edges g = ((w - 1) * h) + (w * (h - 1)))
+
+let () =
+  Alcotest.run "mf_grid"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "dimensions" `Quick test_dimensions;
+          Alcotest.test_case "coords roundtrip" `Quick test_node_coords_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_node_bounds;
+          Alcotest.test_case "edge between" `Quick test_edges_between;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "manhattan" `Quick test_manhattan;
+          Alcotest.test_case "single row" `Quick test_single_row;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          QCheck_alcotest.to_alcotest grid_edge_prop;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+module Ilp = Mf_ilp.Ilp
+module Rng = Mf_util.Rng
+
+let check = Alcotest.check
+let feps = Alcotest.float 1e-6
+
+let solve_exn ?lazy_cuts ?upper_bound ilp =
+  match Ilp.solve ?lazy_cuts ?upper_bound ilp with
+  | Ilp.Optimal s -> s
+  | Ilp.Feasible _ -> Alcotest.fail "truncated"
+  | Ilp.Infeasible -> Alcotest.fail "infeasible"
+  | Ilp.Node_limit -> Alcotest.fail "node limit"
+
+let test_knapsack () =
+  (* max 10a+6b+4c st a+b+c <= 2 *)
+  let ilp = Ilp.create () in
+  let a = Ilp.add_binary ~obj:(-10.) ilp in
+  let b = Ilp.add_binary ~obj:(-6.) ilp in
+  let c = Ilp.add_binary ~obj:(-4.) ilp in
+  Ilp.add_row ilp [ (1., a); (1., b); (1., c) ] Ilp.Le 2.;
+  let s = solve_exn ilp in
+  check feps "objective" (-16.) s.objective;
+  check feps "a" 1. s.values.(a);
+  check feps "b" 1. s.values.(b);
+  check feps "c" 0. s.values.(c)
+
+let test_rounding_forced () =
+  (* LP relaxation is fractional (x=y=0.75); integrality forces obj 2 *)
+  let ilp = Ilp.create () in
+  let a = Ilp.add_binary ~obj:1. ilp in
+  let b = Ilp.add_binary ~obj:1. ilp in
+  Ilp.add_row ilp [ (2., a); (2., b) ] Ilp.Ge 3.;
+  let s = solve_exn ilp in
+  check feps "objective" 2. s.objective
+
+let test_set_cover () =
+  (* universe {1..4}, sets {1,2} {2,3} {3,4} {1,4}; optimal cover = 2 sets *)
+  let ilp = Ilp.create () in
+  let s1 = Ilp.add_binary ~obj:1. ilp in
+  let s2 = Ilp.add_binary ~obj:1. ilp in
+  let s3 = Ilp.add_binary ~obj:1. ilp in
+  let s4 = Ilp.add_binary ~obj:1. ilp in
+  Ilp.add_row ilp [ (1., s1); (1., s4) ] Ilp.Ge 1.;
+  Ilp.add_row ilp [ (1., s1); (1., s2) ] Ilp.Ge 1.;
+  Ilp.add_row ilp [ (1., s2); (1., s3) ] Ilp.Ge 1.;
+  Ilp.add_row ilp [ (1., s3); (1., s4) ] Ilp.Ge 1.;
+  let s = solve_exn ilp in
+  check feps "two sets" 2. s.objective
+
+let test_infeasible () =
+  let ilp = Ilp.create () in
+  let a = Ilp.add_binary ilp in
+  let b = Ilp.add_binary ilp in
+  Ilp.add_row ilp [ (1., a); (1., b) ] Ilp.Ge 3.;
+  check Alcotest.bool "infeasible" true (Ilp.solve ilp = Ilp.Infeasible)
+
+let test_continuous_mix () =
+  (* binary a gates continuous y <= 5a; max y - a cost *)
+  let ilp = Ilp.create () in
+  let a = Ilp.add_binary ~obj:2. ilp in
+  let y = Ilp.add_continuous ~upper:5. ~obj:(-1.) ilp in
+  Ilp.add_row ilp [ (1., y); ((-5.), a) ] Ilp.Le 0.;
+  let s = solve_exn ilp in
+  check feps "gate open" 1. s.values.(a);
+  check feps "y at cap" 5. s.values.(y);
+  check feps "objective" (-3.) s.objective
+
+let test_lazy_cuts () =
+  let ilp = Ilp.create () in
+  let x = Ilp.add_binary ~obj:1. ilp in
+  let y = Ilp.add_binary ~obj:2. ilp in
+  let z = Ilp.add_binary ~obj:3. ilp in
+  Ilp.add_row ilp [ (1., x); (1., y); (1., z) ] Ilp.Ge 1.;
+  let rejected = ref 0 in
+  let cuts (s : Ilp.solution) =
+    if s.values.(z) < 0.5 then begin
+      incr rejected;
+      [ ([ (1., z) ], Ilp.Ge, 1.) ]
+    end
+    else []
+  in
+  let s = solve_exn ~lazy_cuts:cuts ilp in
+  check feps "z forced" 1. s.values.(z);
+  check feps "objective" 3. s.objective;
+  check Alcotest.bool "cut fired" true (!rejected >= 1)
+
+let test_upper_bound_prunes () =
+  let ilp = Ilp.create () in
+  let a = Ilp.add_binary ~obj:1. ilp in
+  Ilp.add_row ilp [ (1., a) ] Ilp.Ge 1.;
+  (* optimum costs 1; an upper bound of 0.5 hides it *)
+  check Alcotest.bool "pruned away" true (Ilp.solve ~upper_bound:0.5 ilp = Ilp.Infeasible);
+  (* a generous bound leaves it visible *)
+  match Ilp.solve ~upper_bound:10. ilp with
+  | Ilp.Optimal s -> check feps "found" 1. s.objective
+  | Ilp.Feasible _ | Ilp.Infeasible | Ilp.Node_limit -> Alcotest.fail "expected optimal"
+
+let test_node_limit () =
+  let ilp = Ilp.create () in
+  let vars = List.init 12 (fun _ -> Ilp.add_binary ~obj:1. ilp) in
+  Ilp.add_row ilp (List.map (fun v -> (1., v)) vars) Ilp.Ge 6.5;
+  (match Ilp.solve ~node_limit:1 ilp with
+   | Ilp.Node_limit | Ilp.Feasible _ -> ()
+   | Ilp.Optimal _ | Ilp.Infeasible -> Alcotest.fail "expected truncation");
+  check Alcotest.bool "nodes counted" true (Ilp.nodes_explored ilp >= 1)
+
+let test_equality_row () =
+  let ilp = Ilp.create () in
+  let a = Ilp.add_binary ~obj:(-3.) ilp in
+  let b = Ilp.add_binary ~obj:(-5.) ilp in
+  let c = Ilp.add_binary ~obj:(-1.) ilp in
+  Ilp.add_row ilp [ (1., a); (1., b); (1., c) ] Ilp.Eq 2.;
+  let s = solve_exn ilp in
+  check feps "pick the two best" (-8.) s.objective
+
+(* random set-cover instances: compare against exhaustive enumeration *)
+let random_cover_prop =
+  QCheck.Test.make ~name:"ILP matches brute force on random covers" ~count:40 QCheck.int
+    (fun seed ->
+      let rng = Rng.create ~seed:(abs seed) in
+      let n_sets = 3 + Rng.int rng 5 in
+      let n_items = 2 + Rng.int rng 4 in
+      let membership = Array.init n_sets (fun _ -> Array.init n_items (fun _ -> Rng.bool rng)) in
+      let cost = Array.init n_sets (fun _ -> 1 + Rng.int rng 5) in
+      let covers subset item = List.exists (fun s -> membership.(s).(item)) subset in
+      let feasible subset = List.init n_items Fun.id |> List.for_all (covers subset) in
+      let best = ref max_int in
+      for mask = 0 to (1 lsl n_sets) - 1 do
+        let subset = List.filter (fun s -> mask land (1 lsl s) <> 0) (List.init n_sets Fun.id) in
+        if feasible subset then begin
+          let c = List.fold_left (fun acc s -> acc + cost.(s)) 0 subset in
+          if c < !best then best := c
+        end
+      done;
+      let ilp = Ilp.create () in
+      let vars = Array.init n_sets (fun s -> Ilp.add_binary ~obj:(float_of_int cost.(s)) ilp) in
+      for item = 0 to n_items - 1 do
+        let terms =
+          List.init n_sets Fun.id
+          |> List.filter_map (fun s -> if membership.(s).(item) then Some (1., vars.(s)) else None)
+        in
+        if terms = [] then Ilp.add_row ilp [ (1., vars.(0)) ] Ilp.Ge 2. (* force infeasible *)
+        else Ilp.add_row ilp terms Ilp.Ge 1.
+      done;
+      match Ilp.solve ilp with
+      | Ilp.Optimal s -> !best < max_int && abs_float (s.objective -. float_of_int !best) < 1e-6
+      | Ilp.Infeasible -> !best = max_int
+      | Ilp.Feasible _ | Ilp.Node_limit -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mf_ilp"
+    [
+      ( "branch-and-bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "fractional relaxation" `Quick test_rounding_forced;
+          Alcotest.test_case "set cover" `Quick test_set_cover;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "continuous mix" `Quick test_continuous_mix;
+          Alcotest.test_case "lazy cuts" `Quick test_lazy_cuts;
+          Alcotest.test_case "upper bound pruning" `Quick test_upper_bound_prunes;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "equality row" `Quick test_equality_row;
+          qt random_cover_prop;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+module Lp = Mf_lp.Lp
+module Simplex = Mf_lp.Simplex
+module Rng = Mf_util.Rng
+
+let check = Alcotest.check
+let feps = Alcotest.float 1e-6
+
+let solve_exn lp =
+  match Lp.solve lp with
+  | Lp.Optimal { objective; values } -> (objective, values)
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_basic_max () =
+  (* max x+y st x+2y<=4, 3x+y<=6 -> (1.6, 1.2) *)
+  let lp = Lp.create () in
+  let x = Lp.add_var ~obj:(-1.) lp in
+  let y = Lp.add_var ~obj:(-1.) lp in
+  Lp.add_row lp [ (1., x); (2., y) ] Lp.Le 4.;
+  Lp.add_row lp [ (3., x); (1., y) ] Lp.Le 6.;
+  let obj, values = solve_exn lp in
+  check feps "objective" (-2.8) obj;
+  check feps "x" 1.6 values.(x);
+  check feps "y" 1.2 values.(y)
+
+let test_equality_and_ge () =
+  let lp = Lp.create () in
+  let x = Lp.add_var ~obj:1. lp in
+  let y = Lp.add_var ~obj:2. lp in
+  Lp.add_row lp [ (1., x); (1., y) ] Lp.Eq 10.;
+  Lp.add_row lp [ (1., y) ] Lp.Ge 3.;
+  let obj, values = solve_exn lp in
+  check feps "objective" 13. obj;
+  check feps "y at its bound" 3. values.(y)
+
+let test_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var ~upper:1. lp in
+  Lp.add_row lp [ (1., x) ] Lp.Ge 2.;
+  check Alcotest.bool "infeasible" true (Lp.solve lp = Lp.Infeasible)
+
+let test_infeasible_rows () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp in
+  Lp.add_row lp [ (1., x) ] Lp.Le 1.;
+  Lp.add_row lp [ (1., x) ] Lp.Ge 2.;
+  check Alcotest.bool "conflicting rows" true (Lp.solve lp = Lp.Infeasible)
+
+let test_unbounded () =
+  let lp = Lp.create () in
+  let x = Lp.add_var ~obj:(-1.) lp in
+  Lp.add_row lp [ (1., x) ] Lp.Ge 0.;
+  check Alcotest.bool "unbounded" true (Lp.solve lp = Lp.Unbounded)
+
+let test_variable_bounds () =
+  (* bounds handled without explicit rows: min -x -2y, x<=3, y<=2 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var ~upper:3. ~obj:(-1.) lp in
+  let y = Lp.add_var ~upper:2. ~obj:(-2.) lp in
+  Lp.add_row lp [ (1., x); (1., y) ] Lp.Le 100.;
+  let obj, values = solve_exn lp in
+  check feps "x at upper" 3. values.(x);
+  check feps "y at upper" 2. values.(y);
+  check feps "objective" (-7.) obj
+
+let test_lower_bounds () =
+  let lp = Lp.create () in
+  let x = Lp.add_var ~lower:2. ~obj:1. lp in
+  let y = Lp.add_var ~lower:1. ~obj:1. lp in
+  Lp.add_row lp [ (1., x); (1., y) ] Lp.Le 10.;
+  let obj, _ = solve_exn lp in
+  check feps "rest at lower bounds" 3. obj
+
+let test_fixing () =
+  let lp = Lp.create () in
+  let x = Lp.add_var ~upper:1. ~obj:(-1.) lp in
+  let y = Lp.add_var ~upper:1. ~obj:(-1.) lp in
+  Lp.add_row lp [ (1., x); (1., y) ] Lp.Le 2.;
+  let fix v = if v = x then Some 0. else None in
+  (match Lp.solve ~fix lp with
+   | Lp.Optimal { objective; values } ->
+     check feps "x fixed" 0. values.(x);
+     check feps "obj with fixing" (-1.) objective
+   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimal");
+  (* without fixing the model is untouched *)
+  let obj, _ = solve_exn lp in
+  check feps "obj without fixing" (-2.) obj
+
+let test_degenerate () =
+  (* many redundant constraints through one vertex *)
+  let lp = Lp.create () in
+  let x = Lp.add_var ~obj:(-1.) lp in
+  let y = Lp.add_var ~obj:(-1.) lp in
+  Lp.add_row lp [ (1., x); (1., y) ] Lp.Le 2.;
+  Lp.add_row lp [ (2., x); (2., y) ] Lp.Le 4.;
+  Lp.add_row lp [ (1., x) ] Lp.Le 1.;
+  Lp.add_row lp [ (1., y) ] Lp.Le 1.;
+  Lp.add_row lp [ (3., x); (3., y) ] Lp.Le 6.;
+  let obj, _ = solve_exn lp in
+  check feps "degenerate optimum" (-2.) obj
+
+let test_duplicate_terms () =
+  (* repeated variables in a row are summed *)
+  let lp = Lp.create () in
+  let x = Lp.add_var ~obj:(-1.) lp in
+  Lp.add_row lp [ (1., x); (1., x) ] Lp.Le 4.;
+  let obj, values = solve_exn lp in
+  check feps "2x <= 4" 2. values.(x);
+  check feps "objective" (-2.) obj
+
+let test_set_obj () =
+  let lp = Lp.create () in
+  let x = Lp.add_var ~upper:5. lp in
+  Lp.add_row lp [ (1., x) ] Lp.Ge 1.;
+  Lp.set_obj lp x (-1.);
+  let obj, _ = solve_exn lp in
+  check feps "maximise after set_obj" (-5.) obj
+
+let test_bad_inputs () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp in
+  Alcotest.check_raises "bad var in row" (Invalid_argument "Lp.add_row: bad variable") (fun () ->
+      Lp.add_row lp [ (1., x + 1) ] Lp.Le 1.)
+
+(* Random LPs with a known feasible point: the optimum must not exceed the
+   witness objective, and returned values must satisfy all rows. *)
+let random_lp_prop =
+  QCheck.Test.make ~name:"optimal <= witness and solution feasible" ~count:100 QCheck.int
+    (fun seed ->
+      let rng = Rng.create ~seed:(abs seed) in
+      let n = 2 + Rng.int rng 4 in
+      let m = 1 + Rng.int rng 5 in
+      let lp = Lp.create () in
+      let witness = Array.init n (fun _ -> Rng.float rng 5.) in
+      let cost = Array.init n (fun _ -> Rng.float rng 4. -. 2.) in
+      let vars = Array.init n (fun j -> Lp.add_var ~upper:10. ~obj:cost.(j) lp) in
+      let rows = ref [] in
+      for _ = 1 to m do
+        let coefs = Array.init n (fun _ -> Rng.float rng 3.) in
+        let lhs = ref 0. in
+        Array.iteri (fun j c -> lhs := !lhs +. (c *. witness.(j))) coefs;
+        (* rhs chosen so the witness satisfies the row *)
+        let rhs = !lhs +. Rng.float rng 2. in
+        let terms = Array.to_list (Array.mapi (fun j c -> (c, vars.(j))) coefs) in
+        Lp.add_row lp terms Lp.Le rhs;
+        rows := (coefs, rhs) :: !rows
+      done;
+      let witness_obj = ref 0. in
+      Array.iteri (fun j c -> witness_obj := !witness_obj +. (c *. witness.(j))) cost;
+      match Lp.solve lp with
+      | Lp.Infeasible | Lp.Unbounded -> false
+      | Lp.Optimal { objective; values } ->
+        objective <= !witness_obj +. 1e-6
+        && Array.for_all (fun x -> x >= -1e-6 && x <= 10. +. 1e-6) values
+        && List.for_all
+             (fun (coefs, rhs) ->
+               let lhs = ref 0. in
+               Array.iteri (fun j c -> lhs := !lhs +. (c *. values.(j))) coefs;
+               !lhs <= rhs +. 1e-5)
+             !rows)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mf_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic max" `Quick test_basic_max;
+          Alcotest.test_case "equality and >=" `Quick test_equality_and_ge;
+          Alcotest.test_case "infeasible bound" `Quick test_infeasible;
+          Alcotest.test_case "infeasible rows" `Quick test_infeasible_rows;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "upper bounds" `Quick test_variable_bounds;
+          Alcotest.test_case "lower bounds" `Quick test_lower_bounds;
+          Alcotest.test_case "per-solve fixing" `Quick test_fixing;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms;
+          Alcotest.test_case "set_obj" `Quick test_set_obj;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+          qt random_lp_prop;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Cross-module properties: invariants that tie the fault model, test
+   generation, scheduling and the chip model together. *)
+
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+module Bitset = Mf_util.Bitset
+module Rng = Mf_util.Rng
+module Vector = Mf_faults.Vector
+module Pressure = Mf_faults.Pressure
+module Fault = Mf_faults.Fault
+module Pathgen = Mf_testgen.Pathgen
+module Cutgen = Mf_testgen.Cutgen
+module Vectors = Mf_testgen.Vectors
+module Scheduler = Mf_sched.Scheduler
+module Seqgraph = Mf_bioassay.Seqgraph
+module Assays = Mf_bioassay.Assays
+module Benchmarks = Mf_chips.Benchmarks
+
+
+let chip_of_seed seed =
+  if seed mod 4 = 3 then Mf_chips.Synth.generate (Rng.create ~seed)
+  else Option.get (Benchmarks.by_name (List.nth Benchmarks.names (seed mod 3)))
+
+(* Opening more valves can only extend where pressure reaches. *)
+let monotone_pressure_prop =
+  QCheck.Test.make ~name:"pressure reach is monotone in open valves" ~count:40 QCheck.small_int
+    (fun seed ->
+      let chip = chip_of_seed seed in
+      let rng = Rng.create ~seed:(seed + 7) in
+      let n = Chip.n_controls chip in
+      let active = Bitset.create n in
+      for line = 0 to n - 1 do
+        if Rng.bool rng then Bitset.add active line
+      done;
+      (* releasing one more line (opening its valves) must not shrink reach *)
+      let source = (Chip.ports chip).(0).Chip.node in
+      let g = Grid.graph (Chip.grid chip) in
+      let reach_with active =
+        Traverse.reachable g
+          ~allowed:(fun e -> Pressure.conducts chip ~active_lines:active e)
+          ~src:source
+      in
+      let before = reach_with active in
+      match Bitset.elements active with
+      | [] -> true
+      | line :: _ ->
+        let relaxed = Bitset.copy active in
+        Bitset.remove relaxed line;
+        let after = reach_with relaxed in
+        Bitset.fold (fun node ok -> ok && Bitset.mem after node) before true)
+
+(* Generated cuts are inclusion-minimal separators. *)
+let minimal_cut_prop =
+  QCheck.Test.make ~name:"generated cuts are inclusion-minimal" ~count:6 QCheck.small_int
+    (fun seed ->
+      let chip = chip_of_seed seed in
+      match Pathgen.generate ~node_limit:150 chip with
+      | Error _ -> false
+      | Ok config ->
+        let aug = Pathgen.apply chip config in
+        let cuts =
+          Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port
+        in
+        let ports = Chip.ports aug in
+        let s = ports.(config.Pathgen.src_port).Chip.node in
+        let t = ports.(config.Pathgen.dst_port).Chip.node in
+        let separates closed_list =
+          let closed = Bitset.of_list (Chip.n_valves aug) closed_list in
+          let g = Grid.graph (Chip.grid aug) in
+          let allowed e =
+            Chip.is_channel aug e
+            &&
+            match Chip.valve_on aug e with
+            | None -> true
+            | Some v -> not (Bitset.mem closed v.Chip.valve_id)
+          in
+          not (Traverse.connected g ~allowed s t)
+        in
+        List.for_all
+          (fun cut ->
+            separates cut
+            && List.for_all (fun v -> not (separates (List.filter (( <> ) v) cut))) cut)
+          cuts.Cutgen.cuts)
+
+(* A test path vector conducts from source to meter, and its path stays on
+   channels of the augmented chip. *)
+let path_vector_prop =
+  QCheck.Test.make ~name:"path vectors are conducting channel walks" ~count:6 QCheck.small_int
+    (fun seed ->
+      let chip = chip_of_seed (seed + 13) in
+      match Pathgen.generate ~node_limit:150 chip with
+      | Error _ -> false
+      | Ok config ->
+        let aug = Pathgen.apply chip config in
+        let ports = Chip.ports aug in
+        let s = ports.(config.Pathgen.src_port).Chip.node in
+        let t = ports.(config.Pathgen.dst_port).Chip.node in
+        List.for_all
+          (fun path ->
+            List.for_all (Chip.is_channel aug) path
+            &&
+            let vec = Vector.of_path aug ~source:s ~meters:[ t ] path in
+            Pressure.well_formed aug vec)
+          config.Pathgen.paths)
+
+(* Makespan respects the critical-path lower bound. *)
+let critical_path_prop =
+  QCheck.Test.make ~name:"makespan >= critical path" ~count:9 QCheck.small_int (fun seed ->
+      let chip = Option.get (Benchmarks.by_name (List.nth Benchmarks.names (seed mod 3))) in
+      let app = Option.get (Assays.by_name (List.nth Assays.names (seed mod 3))) in
+      let critical =
+        let n = Seqgraph.n_ops app in
+        let memo = Array.make n 0 in
+        List.iter
+          (fun j ->
+            let longest = List.fold_left (fun acc p -> max acc memo.(p)) 0 (Seqgraph.preds app j) in
+            memo.(j) <- longest + (Seqgraph.op app j).Mf_bioassay.Op.duration)
+          (Seqgraph.topological app);
+        Array.fold_left max 0 memo
+      in
+      match Scheduler.makespan chip app with
+      | Some makespan -> makespan >= critical
+      | None -> false)
+
+(* Sharing the control of a DFT valve never reduces the makespan below the
+   free-control architecture. *)
+let sharing_cost_prop =
+  QCheck.Test.make ~name:"sharing never beats free control" ~count:5 QCheck.small_int
+    (fun seed ->
+      let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+      match Pathgen.generate ~node_limit:200 chip with
+      | Error _ -> false
+      | Ok config ->
+        let aug = Pathgen.apply chip config in
+        let app = Assays.ivd () in
+        let free = Scheduler.makespan aug app in
+        let rng = Rng.create ~seed:(seed + 31) in
+        let scheme = Mfdft.Sharing.random rng aug in
+        let shared = Mfdft.Sharing.apply aug scheme in
+        (match (free, Scheduler.makespan shared app) with
+         | Some f, Some s -> s >= f
+         | Some _, None -> true (* deadlock under sharing is a legal outcome *)
+         | None, _ -> false))
+
+(* Chip_io round-trips synthetic chips, not just the benchmarks. *)
+let io_roundtrip_prop =
+  QCheck.Test.make ~name:"chip_io round-trips synthetic chips" ~count:15 QCheck.small_int
+    (fun seed ->
+      let chip = Mf_chips.Synth.generate (Rng.create ~seed:(seed + 3)) in
+      match Mf_arch.Chip_io.parse (Mf_arch.Chip_io.to_string chip) with
+      | Error _ -> false
+      | Ok chip' ->
+        Chip.n_valves chip = Chip.n_valves chip'
+        && Bitset.equal (Chip.channel_edges chip) (Chip.channel_edges chip')
+        && Array.length (Chip.devices chip) = Array.length (Chip.devices chip'))
+
+(* The fault universe is exactly edges + valves, and every fault printable. *)
+let fault_universe_prop =
+  QCheck.Test.make ~name:"fault universe size and printability" ~count:20 QCheck.small_int
+    (fun seed ->
+      let chip = chip_of_seed seed in
+      let faults = Fault.all chip in
+      List.length faults
+      = Bitset.cardinal (Chip.channel_edges chip) + Chip.n_valves chip
+      && List.for_all
+           (fun f -> String.length (Format.asprintf "%a" (Fault.pp chip) f) > 0)
+           faults)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mf_props"
+    [
+      ( "cross-module properties",
+        [
+          qt monotone_pressure_prop;
+          qt minimal_cut_prop;
+          qt path_vector_prop;
+          qt critical_path_prop;
+          qt sharing_cost_prop;
+          qt io_roundtrip_prop;
+          qt fault_universe_prop;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+module Chip = Mf_arch.Chip
+module Op = Mf_bioassay.Op
+module Seqgraph = Mf_bioassay.Seqgraph
+module Assays = Mf_bioassay.Assays
+module Scheduler = Mf_sched.Scheduler
+module Schedule = Mf_sched.Schedule
+module Benchmarks = Mf_chips.Benchmarks
+
+let check = Alcotest.check
+
+let mini_app () =
+  (* mix -> detect *)
+  Seqgraph.create_exn
+    [
+      { Op.op_id = 0; kind = Op.Mix; duration = 10; op_name = "mix" };
+      { Op.op_id = 1; kind = Op.Detect; duration = 5; op_name = "det" };
+    ]
+    ~edges:[ (0, 1) ]
+
+let ivd_chip () = Option.get (Benchmarks.by_name "ivd_chip")
+
+let test_mini_schedule () =
+  match Scheduler.run (ivd_chip ()) (mini_app ()) with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Schedule.pp_failure f
+  | Ok s ->
+    (* reagent transport + 10s mix + transport + 5s detect *)
+    check Alcotest.bool "makespan at least work" true (s.Schedule.makespan >= 15);
+    check Alcotest.bool "transports happened" true (s.Schedule.n_transports >= 2)
+
+let test_event_consistency () =
+  match Scheduler.run (ivd_chip ()) (Assays.ivd ()) with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Schedule.pp_failure f
+  | Ok s ->
+    let starts = Hashtbl.create 16 in
+    let finishes = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Schedule.Op_started { op; time; _ } -> Hashtbl.replace starts op time
+        | Schedule.Op_finished { op; time; _ } -> Hashtbl.replace finishes op time
+        | Schedule.Transport_started _ | Schedule.Unit_stored _ | Schedule.Unit_parked _ -> ())
+      s.Schedule.events;
+    let app = Assays.ivd () in
+    for j = 0 to Seqgraph.n_ops app - 1 do
+      let op = Seqgraph.op app j in
+      let start = Hashtbl.find starts j and finish = Hashtbl.find finishes j in
+      check Alcotest.int "duration respected" op.Op.duration (finish - start);
+      List.iter
+        (fun p ->
+          check Alcotest.bool "dependency order" true (Hashtbl.find finishes p <= start))
+        (Seqgraph.preds app j)
+    done;
+    let max_finish = Hashtbl.fold (fun _ t acc -> max t acc) finishes 0 in
+    check Alcotest.int "makespan is last finish" s.Schedule.makespan max_finish
+
+let test_device_exclusive () =
+  match Scheduler.run (ivd_chip ()) (Assays.ivd ()) with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Schedule.pp_failure f
+  | Ok s ->
+    (* no device may run two ops at overlapping times *)
+    let running = Hashtbl.create 8 in
+    let intervals = ref [] in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Schedule.Op_started { op; device; time } -> Hashtbl.replace running (device, op) time
+        | Schedule.Op_finished { op; device; time } ->
+          let start = Hashtbl.find running (device, op) in
+          intervals := (device, start, time) :: !intervals
+        | Schedule.Transport_started _ | Schedule.Unit_stored _ | Schedule.Unit_parked _ -> ())
+      s.Schedule.events;
+    let list = !intervals in
+    List.iter
+      (fun (d1, s1, f1) ->
+        List.iter
+          (fun (d2, s2, f2) ->
+            if d1 = d2 && (s1, f1) <> (s2, f2) then
+              check Alcotest.bool "no overlap" true (f1 <= s2 || f2 <= s1))
+          list)
+      list
+
+let test_all_combos_complete () =
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      List.iter
+        (fun assay ->
+          let app = Option.get (Assays.by_name assay) in
+          match Scheduler.run chip app with
+          | Ok s ->
+            check Alcotest.bool
+              (Printf.sprintf "%s/%s positive makespan" chip_name assay)
+              true (s.Schedule.makespan > 0)
+          | Error f ->
+            Alcotest.failf "%s/%s failed: %a" chip_name assay Schedule.pp_failure f)
+        Assays.names)
+    Benchmarks.names
+
+let test_no_device_failure () =
+  let b = Chip.builder ~name:"mixless" ~width:4 ~height:3 in
+  Chip.add_port b ~x:0 ~y:0 ~name:"P0";
+  Chip.add_port b ~x:3 ~y:0 ~name:"P1";
+  Chip.add_device b ~kind:Chip.Detector ~x:1 ~y:1 ~name:"D";
+  Chip.add_channel b [ (0, 0); (1, 0); (2, 0); (3, 0) ];
+  Chip.add_channel b [ (1, 0); (1, 1) ];
+  Chip.add_valve b (0, 0) (1, 0);
+  Chip.add_valve b (2, 0) (3, 0);
+  Chip.add_valve b (1, 0) (1, 1);
+  let chip = Chip.finish_exn b in
+  match Scheduler.run chip (mini_app ()) with
+  | Error (Schedule.No_device Op.Mix) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %a" Schedule.pp_failure f
+  | Ok _ -> Alcotest.fail "expected No_device"
+
+let test_transport_cost_scales () =
+  let fast = Scheduler.{ default_options with transport_cost = 1 } in
+  let slow = Scheduler.{ default_options with transport_cost = 4 } in
+  let chip = ivd_chip () in
+  let app = Assays.ivd () in
+  let m1 = Option.get (Scheduler.makespan ~options:fast chip app) in
+  let m4 = Option.get (Scheduler.makespan ~options:slow chip app) in
+  check Alcotest.bool "slower transport, longer makespan" true (m4 > m1)
+
+let test_storage_disabled () =
+  (* without any storage, heavy assays may fail; light IVD should still run *)
+  let opts = Scheduler.{ default_options with allow_storage = false } in
+  match Scheduler.run ~options:opts (ivd_chip ()) (Assays.ivd ()) with
+  | Ok s -> check Alcotest.int "no evictions" 0 s.Schedule.n_stored
+  | Error _ -> () (* failing without storage is also legitimate *)
+
+let test_sharing_can_hurt () =
+  (* a deliberately bad sharing couples a DFT valve with a port valve; the
+     schedule must never get FASTER than the unshared augmented chip *)
+  let chip = ivd_chip () in
+  match Mf_testgen.Pathgen.generate ~node_limit:300 chip with
+  | Error m -> Alcotest.fail m
+  | Ok config ->
+    let aug = Mf_testgen.Pathgen.apply chip config in
+    let app = Assays.ivd () in
+    let unshared = Scheduler.makespan aug app in
+    let dft_ids =
+      Array.to_list (Chip.valves aug)
+      |> List.filter_map (fun (v : Chip.valve) -> if v.is_dft then Some v.valve_id else None)
+    in
+    let scheme = List.map (fun v -> (v, 0)) dft_ids in
+    let shared = Chip.with_sharing aug scheme in
+    (match (unshared, Scheduler.makespan shared app) with
+     | Some u, Some s -> check Alcotest.bool "sharing never speeds up" true (s >= u)
+     | Some _, None -> () (* deadlock from bad sharing: also expected *)
+     | None, _ -> Alcotest.fail "unshared augmented chip must schedule")
+
+let test_deterministic () =
+  let chip = ivd_chip () in
+  let app = Assays.cpa () in
+  let m1 = Scheduler.makespan chip app and m2 = Scheduler.makespan chip app in
+  check Alcotest.(option int) "same makespan" m1 m2
+
+let test_storage_hierarchy_used () =
+  (* CPA stresses storage: pockets, device chambers and port vials all see
+     traffic on the IVD chip *)
+  match Scheduler.run (ivd_chip ()) (Assays.cpa ()) with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Schedule.pp_failure f
+  | Ok s ->
+    check Alcotest.bool "evictions happened" true (s.Schedule.n_stored > 0);
+    let parked =
+      List.exists
+        (fun ev -> match ev with Schedule.Unit_parked _ -> true | _ -> false)
+        s.Schedule.events
+    in
+    check Alcotest.bool "port vials used as last resort" true parked
+
+let test_pocket_storage_event () =
+  match Scheduler.run (ivd_chip ()) (Assays.pid ()) with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Schedule.pp_failure f
+  | Ok s ->
+    List.iter
+      (fun ev ->
+        match ev with
+        | Schedule.Unit_stored { edge; _ } ->
+          (* stored edges must be channels without resident devices *)
+          check Alcotest.bool "stored on a channel" true
+            (Chip.is_channel (ivd_chip ()) edge)
+        | Schedule.Op_started _ | Schedule.Op_finished _ | Schedule.Transport_started _
+        | Schedule.Unit_parked _ -> ())
+      s.Schedule.events
+
+let test_transports_use_channels () =
+  match Scheduler.run (ivd_chip ()) (Assays.ivd ()) with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Schedule.pp_failure f
+  | Ok s ->
+    let chip = ivd_chip () in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Schedule.Transport_started { path; time; finish; _ } ->
+          check Alcotest.int "duration = path length" (List.length path) (finish - time);
+          List.iter
+            (fun e -> check Alcotest.bool "transport on channels" true (Chip.is_channel chip e))
+            path
+        | Schedule.Op_started _ | Schedule.Op_finished _ | Schedule.Unit_stored _
+        | Schedule.Unit_parked _ -> ())
+      s.Schedule.events
+
+let test_sharing_flag_no_effect_without_sharing () =
+  (* on a chip without shared lines, the legality checks change nothing *)
+  let chip = ivd_chip () in
+  let app = Assays.pid () in
+  let strict = Scheduler.makespan ~options:Scheduler.default_options chip app in
+  let loose =
+    Scheduler.makespan
+      ~options:{ Scheduler.default_options with respect_sharing = false }
+      chip app
+  in
+  check Alcotest.(option int) "identical makespan" strict loose
+
+let test_washing () =
+  let chip = ivd_chip () in
+  let app = Assays.cpa () in
+  let base = Scheduler.default_options in
+  match
+    (Scheduler.run chip app, Scheduler.run ~options:{ base with Scheduler.wash = true } chip app)
+  with
+  | Ok plain, Ok washed ->
+    check Alcotest.int "no washes by default" 0 plain.Schedule.n_washes;
+    check Alcotest.bool "washes counted" true (washed.Schedule.n_washes > 0);
+    check Alcotest.bool "washing costs time" true
+      (washed.Schedule.makespan >= plain.Schedule.makespan)
+  | _, _ -> Alcotest.fail "both schedules must complete"
+
+let test_wash_penalty_scales () =
+  let chip = ivd_chip () in
+  let app = Assays.pid () in
+  let run penalty =
+    Scheduler.makespan
+      ~options:{ Scheduler.default_options with wash = true; wash_penalty = penalty }
+      chip app
+  in
+  match (run 1, run 6) with
+  | Some cheap, Some costly -> check Alcotest.bool "penalty scales" true (costly >= cheap)
+  | _, _ -> Alcotest.fail "both schedules must complete"
+
+let test_horizon () =
+  let opts = { Scheduler.default_options with horizon = 1 } in
+  match Scheduler.run ~options:opts (ivd_chip ()) (Assays.ivd ()) with
+  | Error (Schedule.Timeout _) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %a" Schedule.pp_failure f
+  | Ok _ -> Alcotest.fail "expected timeout"
+
+let () =
+  Alcotest.run "mf_sched"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "mini schedule" `Quick test_mini_schedule;
+          Alcotest.test_case "event consistency" `Quick test_event_consistency;
+          Alcotest.test_case "device exclusivity" `Quick test_device_exclusive;
+          Alcotest.test_case "all combos complete" `Slow test_all_combos_complete;
+          Alcotest.test_case "missing device kind" `Quick test_no_device_failure;
+          Alcotest.test_case "transport cost scales" `Quick test_transport_cost_scales;
+          Alcotest.test_case "storage disabled" `Quick test_storage_disabled;
+          Alcotest.test_case "sharing can hurt" `Slow test_sharing_can_hurt;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "storage hierarchy used" `Quick test_storage_hierarchy_used;
+          Alcotest.test_case "pocket storage events" `Quick test_pocket_storage_event;
+          Alcotest.test_case "transports use channels" `Quick test_transports_use_channels;
+          Alcotest.test_case "sharing flag neutral" `Quick test_sharing_flag_no_effect_without_sharing;
+          Alcotest.test_case "washing" `Quick test_washing;
+          Alcotest.test_case "wash penalty scales" `Quick test_wash_penalty_scales;
+          Alcotest.test_case "horizon" `Quick test_horizon;
+        ] );
+    ]

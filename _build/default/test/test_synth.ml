@@ -1,0 +1,116 @@
+module Chip = Mf_arch.Chip
+module Synth = Mf_chips.Synth
+module Rng = Mf_util.Rng
+module Pathgen = Mf_testgen.Pathgen
+module Cutgen = Mf_testgen.Cutgen
+module Vectors = Mf_testgen.Vectors
+module Scheduler = Mf_sched.Scheduler
+module Coverage = Mf_faults.Coverage
+
+let check = Alcotest.check
+
+let test_default_valid () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10 do
+    (* finish_exn inside generate already validates; this checks shape *)
+    let chip = Synth.generate rng in
+    check Alcotest.bool "ports" true (Array.length (Chip.ports chip) >= 2);
+    check Alcotest.bool "devices" true (Array.length (Chip.devices chip) >= 2);
+    check Alcotest.bool "valves" true (Chip.n_valves chip > 0)
+  done
+
+let test_spec_respected () =
+  let rng = Rng.create ~seed:2 in
+  let spec = { Synth.mixers = 3; detectors = 2; heaters = 1; ports = 4; pockets = 2 } in
+  let chip = Synth.generate ~spec rng in
+  let count kind =
+    Array.to_list (Chip.devices chip)
+    |> List.filter (fun (d : Chip.device) -> d.kind = kind)
+    |> List.length
+  in
+  check Alcotest.int "mixers" 3 (count Chip.Mixer);
+  check Alcotest.int "detectors" 2 (count Chip.Detector);
+  check Alcotest.int "heaters" 1 (count Chip.Heater);
+  check Alcotest.int "ports" 4 (Array.length (Chip.ports chip))
+
+let test_rejects_bad_specs () =
+  let rng = Rng.create ~seed:3 in
+  List.iter
+    (fun spec ->
+      check Alcotest.bool "rejected" true
+        (try
+           ignore (Synth.generate ~spec rng);
+           false
+         with Invalid_argument _ -> true))
+    [
+      { Synth.default_spec with Synth.mixers = 0 };
+      { Synth.default_spec with Synth.ports = 1 };
+      { Synth.default_spec with Synth.pockets = -1 };
+    ]
+
+(* the headline property: any generated chip can be made single-source
+   single-meter testable, completely *)
+let dft_works_prop =
+  QCheck.Test.make ~name:"synthetic chips accept complete DFT" ~count:5 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 1) in
+      let chip = Synth.generate rng in
+      match Pathgen.generate ~node_limit:150 chip with
+      | Error _ -> false
+      | Ok config ->
+        let aug = Pathgen.apply chip config in
+        let cuts =
+          Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port
+        in
+        let suite = Vectors.of_config config cuts in
+        let suite =
+          if Vectors.is_valid aug suite then suite else Mf_testgen.Repair.run aug suite
+        in
+        Coverage.complete (Vectors.validate aug suite))
+
+(* generated chips must also execute applications *)
+let schedule_works_prop =
+  QCheck.Test.make ~name:"synthetic chips schedule the IVD assay" ~count:8 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 100) in
+      let chip = Synth.generate rng in
+      match Scheduler.makespan chip (Mf_bioassay.Assays.ivd ()) with
+      | Some makespan -> makespan > 0
+      | None -> false)
+
+(* storage pockets the generator claims must be usable by the scheduler's
+   site rules *)
+let pocket_prop =
+  QCheck.Test.make ~name:"generated pockets are valve-enclosed" ~count:20 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 200) in
+      let chip = Synth.generate rng in
+      let g = Mf_grid.Grid.graph (Chip.grid chip) in
+      let pockets = ref 0 in
+      Mf_graph.Graph.iter_edges
+        (fun e u v ->
+          if Chip.is_channel chip e && Chip.valve_on chip e = None then begin
+            let plain n = Chip.device_at chip n = None && Chip.port_at chip n = None in
+            let boundary n =
+              Mf_graph.Graph.incident g n
+              |> List.for_all (fun (f, _) ->
+                  f = e || (not (Chip.is_channel chip f)) || Chip.valve_on chip f <> None)
+            in
+            if plain u && plain v && boundary u && boundary v then incr pockets
+          end)
+        g;
+      !pockets >= 1)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mf_synth"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "spec respected" `Quick test_spec_respected;
+          Alcotest.test_case "rejects bad specs" `Quick test_rejects_bad_specs;
+        ] );
+      ( "properties",
+        [ qt dft_works_prop; qt schedule_works_prop; qt pocket_prop ] );
+    ]

@@ -1,0 +1,80 @@
+module Chip = Mf_arch.Chip
+module Svg = Mf_viz.Svg
+module Benchmarks = Mf_chips.Benchmarks
+module Scheduler = Mf_sched.Scheduler
+module Assays = Mf_bioassay.Assays
+
+let check = Alcotest.check
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let well_formed svg =
+  contains "<svg" svg && contains "</svg>" svg
+  && (* every <rect/line/circle is self-closed; no stray ampersands *)
+  not (contains "& " svg)
+
+let test_chip_svg () =
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let svg = Svg.chip chip in
+      check Alcotest.bool (name ^ " well-formed") true (well_formed svg);
+      check Alcotest.bool (name ^ " draws channels") true (contains "<line" svg);
+      check Alcotest.bool (name ^ " draws valves") true (contains "<rect" svg);
+      check Alcotest.bool (name ^ " labels") true (contains (Chip.name chip) svg))
+    Benchmarks.names
+
+let test_dft_highlight () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  match Mf_testgen.Pathgen.generate ~node_limit:300 chip with
+  | Error m -> Alcotest.fail m
+  | Ok config ->
+    let aug = Mf_testgen.Pathgen.apply chip config in
+    let svg = Svg.chip aug in
+    check Alcotest.bool "dft colour present" true (contains "#e67e22" svg);
+    check Alcotest.bool "plain chip lacks dft colour" false
+      (contains "#e67e22" (Svg.chip chip))
+
+let test_control_svg () =
+  let chip = Option.get (Benchmarks.by_name "ra30_chip") in
+  let layout = Mf_control.Control.synthesize chip in
+  let svg = Svg.control_layer chip layout in
+  check Alcotest.bool "well-formed" true (well_formed svg);
+  check Alcotest.bool "mentions ports" true (contains "control layer" svg)
+
+let test_schedule_svg () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  match Scheduler.run chip app with
+  | Error _ -> Alcotest.fail "schedule failed"
+  | Ok s ->
+    let svg = Svg.schedule app s in
+    check Alcotest.bool "well-formed" true (well_formed svg);
+    check Alcotest.bool "mentions makespan" true
+      (contains (Printf.sprintf "makespan %d" s.Mf_sched.Schedule.makespan) svg);
+    check Alcotest.bool "has op bars" true (contains "#27ae60" svg)
+
+let test_trace_svg () =
+  let svg = Svg.trace [ 230.; 225.; 220.; 220. ] in
+  check Alcotest.bool "well-formed" true (well_formed svg);
+  check Alcotest.bool "start label" true (contains "start 230" svg);
+  check Alcotest.bool "final label" true (contains "final 220" svg);
+  (* all-invalid trace *)
+  let empty = Svg.trace ~invalid_threshold:100. [ 1e6; 1e6 ] in
+  check Alcotest.bool "explains emptiness" true (contains "no valid scheme" empty)
+
+let () =
+  Alcotest.run "mf_viz"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "chip" `Quick test_chip_svg;
+          Alcotest.test_case "dft highlight" `Quick test_dft_highlight;
+          Alcotest.test_case "control layer" `Quick test_control_svg;
+          Alcotest.test_case "schedule gantt" `Quick test_schedule_svg;
+          Alcotest.test_case "pso trace" `Quick test_trace_svg;
+        ] );
+    ]
