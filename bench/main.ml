@@ -19,9 +19,15 @@ module Chip = Mf_arch.Chip
 module Assays = Mf_bioassay.Assays
 module Benchmarks = Mf_chips.Benchmarks
 module Codesign = Mfdft.Codesign
+module Domain_pool = Mf_util.Domain_pool
 module Pool = Mfdft.Pool
 module Pso = Mf_pso.Pso
 module Rng = Mf_util.Rng
+
+(* parallelism of the codesign runs: MFDFT_JOBS if set, else serial (the
+   published numbers in EXPERIMENTS.md are wall-clock comparable that way;
+   results themselves are identical for any job count) *)
+let jobs = if Sys.getenv_opt "MFDFT_JOBS" = None then 1 else Domain_pool.default_jobs ()
 
 let chips = [ "ivd_chip"; "ra30_chip"; "mrna_chip" ]
 let assays = [ "ivd"; "pid"; "cpa" ]
@@ -43,8 +49,9 @@ let evaluate ~params =
       let chip = Option.get (Benchmarks.by_name chip_name) in
       let rng = Rng.create ~seed:params.Codesign.seed in
       let pool =
-        Pool.build ~size:params.Codesign.pool_size ~node_limit:params.Codesign.ilp_node_limit
-          ~rng chip
+        Domain_pool.with_pool ~jobs (fun domains ->
+            Pool.build ~size:params.Codesign.pool_size
+              ~node_limit:params.Codesign.ilp_node_limit ~domains ~rng chip)
       in
       let count kind =
         Array.to_list (Chip.devices chip)
@@ -304,6 +311,36 @@ let print_ablations () =
     chips
 
 (* ------------------------------------------------------------------ *)
+(* Serial vs parallel wall clock of the hottest path: one quick codesign
+   run per job count, identical seeds — the differential test suite pins
+   the outputs equal, here we report the wall-clock ratio. *)
+
+let speedup () =
+  let parallel_jobs =
+    max 2 (if Sys.getenv_opt "MFDFT_JOBS" = None then Domain_pool.default_jobs () else jobs)
+  in
+  Format.printf "@.== Codesign speedup: jobs=1 vs jobs=%d (%d core%s available) ==@.@."
+    parallel_jobs
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  let time jobs =
+    let params = { Codesign.quick_params with Codesign.jobs } in
+    let t0 = Unix.gettimeofday () in
+    match Codesign.run ~params chip app with
+    | Error m -> failwith m
+    | Ok r -> (Unix.gettimeofday () -. t0, (r.Codesign.exec_final, r.Codesign.trace))
+  in
+  let t_serial, out_serial = time 1 in
+  let t_parallel, out_parallel = time parallel_jobs in
+  Format.printf "serial      (jobs=1): %6.2f s@." t_serial;
+  Format.printf "parallel   (jobs=%2d): %6.2f s@." parallel_jobs t_parallel;
+  Format.printf "speedup: %.2fx   outputs identical: %b@."
+    (t_serial /. t_parallel)
+    (out_serial = out_parallel)
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
 
 let micro () =
@@ -363,7 +400,8 @@ let micro () =
           | Some (est :: _) -> Format.printf "%-30s %14.0f ns/run@." name est
           | Some [] | None -> Format.printf "%-30s (no estimate)@." name)
         analyzed)
-    tests
+    tests;
+  speedup ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -371,7 +409,9 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = if args = [] then [ "table1"; "fig7"; "fig8"; "fig9" ] else args in
   let full = List.mem "full" args in
-  let params = if full then Codesign.default_params else Codesign.quick_params in
+  let params =
+    { (if full then Codesign.default_params else Codesign.quick_params) with Codesign.jobs }
+  in
   let wants name =
     full || List.mem name args || List.mem "all" args
   in
@@ -379,9 +419,11 @@ let () =
     full
     || List.exists (fun a -> List.mem a args) [ "table1"; "fig7"; "fig8"; "fig9"; "all" ]
   in
-  Format.printf "mfdft reproduction harness (%s PSO budgets: %d outer x %d inner iterations)@."
+  Format.printf
+    "mfdft reproduction harness (%s PSO budgets: %d outer x %d inner iterations, %d job%s)@."
     (if full then "paper-scale" else "quick")
-    params.Codesign.outer.Pso.iterations params.Codesign.inner.Pso.iterations;
+    params.Codesign.outer.Pso.iterations params.Codesign.inner.Pso.iterations jobs
+    (if jobs = 1 then "" else "s");
   let rows = if needs_rows then evaluate ~params else [] in
   if needs_rows && wants "table1" then print_table1 rows;
   if needs_rows && wants "fig7" then print_fig7 rows;

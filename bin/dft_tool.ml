@@ -134,14 +134,17 @@ let schedule_cmd =
     Term.(const run $ chip_arg $ assay_arg $ transport_cost $ verbose)
 
 let codesign_cmd =
-  let run chip (assay_name, app) full seed report =
+  let run chip (assay_name, app) full seed jobs report =
+    let jobs = match jobs with Some j -> max 1 j | None -> 1 in
     let params =
       let base = if full then Codesign.default_params else Codesign.quick_params in
-      { base with Codesign.seed }
+      { base with Codesign.seed; jobs }
     in
-    Format.printf "codesign %s / %s (%s budgets, seed %d)...@." (Chip.name chip) assay_name
+    Format.printf "codesign %s / %s (%s budgets, seed %d, %d job%s)...@." (Chip.name chip)
+      assay_name
       (if full then "paper-scale" else "quick")
-      seed;
+      seed jobs
+      (if jobs = 1 then "" else "s");
     match Codesign.run ~params chip app with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -162,12 +165,21 @@ let codesign_cmd =
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale PSO budgets (100 iterations).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PSO random seed.") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluate PSO particles on $(docv) domains. Results are identical for any value; \
+             only the wall clock changes. Defaults to 1 (serial).")
+  in
   let report =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"Write a Markdown report.")
   in
   Cmd.v
     (Cmd.info "codesign" ~doc:"Run the full DFT + valve-sharing codesign flow (Sec. 4.2).")
-    Term.(const run $ chip_arg $ assay_arg $ full $ seed $ report)
+    Term.(const run $ chip_arg $ assay_arg $ full $ seed $ jobs $ report)
 
 let export_cmd =
   let run chip assay_opt out_dir =

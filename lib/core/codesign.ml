@@ -1,5 +1,6 @@
 module Chip = Mf_arch.Chip
 module Rng = Mf_util.Rng
+module Domain_pool = Mf_util.Domain_pool
 module Pso = Mf_pso.Pso
 module Scheduler = Mf_sched.Scheduler
 module Vectors = Mf_testgen.Vectors
@@ -12,6 +13,7 @@ type params = {
   seed : int;
   scheduler : Scheduler.options;
   ilp_node_limit : int;
+  jobs : int;
 }
 
 let default_params =
@@ -22,6 +24,7 @@ let default_params =
     seed = 42;
     scheduler = Scheduler.default_options;
     ilp_node_limit = 4_000;
+    jobs = 1;
   }
 
 let quick_params =
@@ -79,13 +82,39 @@ let testable_suite (entry : Pool.entry) scheme =
    is the application makespan in seconds. *)
 let invalid_threshold = 1e5
 
+(* The fitness memo table, shared across the whole run and consulted from
+   worker domains during batch evaluation.  A mutex guards the table; the
+   memoised function is deterministic, so two workers racing on the same
+   miss both compute the same value and [replace] keeps the table
+   single-valued — the cache affects work, never results. *)
+type cache = { tbl : ((int list * Sharing.t), float) Hashtbl.t; lock : Mutex.t }
+
+let cache_create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+
+let cache_find cache key =
+  Mutex.lock cache.lock;
+  let v = Hashtbl.find_opt cache.tbl key in
+  Mutex.unlock cache.lock;
+  v
+
+let cache_store cache key v =
+  Mutex.lock cache.lock;
+  Hashtbl.replace cache.tbl key v;
+  Mutex.unlock cache.lock
+
+let cache_fold cache f init =
+  Mutex.lock cache.lock;
+  let acc = Hashtbl.fold (fun _ v acc -> f v acc) cache.tbl init in
+  Mutex.unlock cache.lock;
+  acc
+
 (* Fitness shaping: schemes whose test program cannot be completed are
    penalised by how many faults escape; schemes that deadlock the
    application rank between those and valid ones.  Memoised per
    (entry, scheme). *)
 let sharing_fitness cache params app (entry : Pool.entry) scheme =
   let key = (entry.Pool.config.Pathgen.added_edges, scheme) in
-  match Hashtbl.find_opt cache key with
+  match cache_find cache key with
   | Some fit -> fit
   | None ->
     let fit =
@@ -96,7 +125,7 @@ let sharing_fitness cache params app (entry : Pool.entry) scheme =
          | Some makespan -> float_of_int makespan
          | None -> 10. *. invalid_threshold)
     in
-    Hashtbl.add cache key fit;
+    cache_store cache key fit;
     fit
 
 (* Per-valve partner feasibility: original valves whose control line a DFT
@@ -147,7 +176,8 @@ let random_constrained rng allowed =
 let run ?(params = default_params) ?pool chip app =
   let started = Unix.gettimeofday () in
   let rng = Rng.create ~seed:params.seed in
-  let evaluations = ref 0 in
+  let evaluations = Atomic.make 0 in
+  Domain_pool.with_pool ~jobs:(max 1 params.jobs) @@ fun dpool ->
   let pool =
     match pool with
     | Some pool ->
@@ -156,25 +186,24 @@ let run ?(params = default_params) ?pool chip app =
       ignore (Rng.split rng);
       Ok pool
     | None ->
-      Pool.build ~size:params.pool_size ~node_limit:params.ilp_node_limit ~rng:(Rng.split rng)
-        chip
+      Pool.build ~size:params.pool_size ~node_limit:params.ilp_node_limit ~domains:dpool
+        ~rng:(Rng.split rng) chip
   in
   match pool with
   | Error msg -> Error msg
   | Ok pool ->
-    let cache = Hashtbl.create 64 in
+    let cache = cache_create () in
     let fitness_of entry scheme =
-      incr evaluations;
+      Atomic.incr evaluations;
       sharing_fitness cache params app entry scheme
     in
     (* inner PSO: best sharing scheme for a fixed configuration, searching
-       inside the per-valve feasible partner sets *)
-    let best_sharing entry =
-      let allowed = allowed_partners entry in
+       inside the per-valve feasible partner sets.  Self-contained once the
+       rng is split off, so one whole inner run is the unit of parallelism. *)
+    let best_sharing entry allowed inner_rng =
       let dim = List.length allowed in
       if dim = 0 then ([], fitness_of entry [])
       else begin
-        let inner_rng = Rng.split rng in
         let outcome =
           Pso.run ~params:params.inner ~rng:inner_rng ~dim
             ~fitness:(fun position -> fitness_of entry (decode_constrained allowed position))
@@ -183,19 +212,42 @@ let run ?(params = default_params) ?pool chip app =
         (decode_constrained allowed outcome.Pso.best_position, outcome.Pso.best_fitness)
       end
     in
-    (* outer PSO over edge preferences *)
+    (* outer PSO over edge preferences, batch-synchronous: decoding, the
+       lazily cached partner sets and every rng split stay on this domain in
+       particle order; only the (pure) inner runs fan out, and the running
+       best folds back in particle order — bit-identical for any job count. *)
     let outer_dim = max 1 (Array.length (Pool.free_edges pool)) in
     let outer_rng = Rng.split rng in
     let best_entry = ref None in
-    let outer_fitness position =
-      let entry = Pool.decode pool position in
-      let scheme, fit = best_sharing entry in
-      (match !best_entry with
-       | Some (_, _, best) when best <= fit -> ()
-       | Some _ | None -> best_entry := Some (entry, scheme, fit));
-      fit
+    let outer_batch positions =
+      let n = Array.length positions in
+      let prepared = Array.make n None in
+      for i = 0 to n - 1 do
+        let entry = Pool.decode pool positions.(i) in
+        let allowed = allowed_partners entry in
+        prepared.(i) <- Some (entry, allowed, Rng.split rng)
+      done;
+      let evaluated =
+        Domain_pool.map dpool
+          (function
+            | Some (entry, allowed, inner_rng) ->
+              let scheme, fit = best_sharing entry allowed inner_rng in
+              (entry, scheme, fit)
+            | None -> assert false)
+          prepared
+      in
+      Array.iter
+        (fun (entry, scheme, fit) ->
+          match !best_entry with
+          | Some (_, _, best) when best <= fit -> ()
+          | Some _ | None -> best_entry := Some (entry, scheme, fit))
+        evaluated;
+      Array.map (fun (_, _, fit) -> fit) evaluated
     in
-    let outcome = Pso.run ~params:params.outer ~rng:outer_rng ~dim:outer_dim ~fitness:outer_fitness () in
+    let outcome =
+      Pso.run_batch ~params:params.outer ~rng:outer_rng ~dim:outer_dim
+        ~batch_fitness:outer_batch ()
+    in
     (match !best_entry with
      | None -> Error "two-level PSO produced no evaluation"
      | Some (entry, scheme, best_fit) ->
@@ -222,12 +274,12 @@ let run ?(params = default_params) ?pool chip app =
           search ever evaluated: still a scheme found without optimisation
           pressure *)
        let worst_cached_valid () =
-         Hashtbl.fold
-           (fun _ fit acc ->
+         cache_fold cache
+           (fun fit acc ->
              if fit < invalid_threshold then
                match acc with Some w when w >= fit -> acc | Some _ | None -> Some fit
              else acc)
-           cache None
+           None
          |> Option.map int_of_float
        in
        let exec_dft_no_pso =
@@ -255,6 +307,6 @@ let run ?(params = default_params) ?pool chip app =
            n_shared = Sharing.n_shared scheme;
            n_vectors_dft = Vectors.count suite;
            trace = outcome.Pso.trace;
-           evaluations = !evaluations;
+           evaluations = Atomic.get evaluations;
            runtime = Unix.gettimeofday () -. started;
          })

@@ -18,6 +18,10 @@ type params = {
   seed : int;
   scheduler : Mf_sched.Scheduler.options;
   ilp_node_limit : int;
+  jobs : int;
+      (** domains evaluating outer particles (and pool candidates)
+          concurrently; results are bit-identical for any value ≥ 1 because
+          every rng draw stays on the coordinating domain (default 1) *)
 }
 
 val default_params : params
@@ -65,4 +69,9 @@ val run :
 (** [run chip app] executes the whole flow.  [pool] short-circuits the ILP
     configuration-pool construction — pools depend only on the chip, so
     callers evaluating several applications on one chip (Table 1) build the
-    pool once.  Results are deterministic in [params.seed]. *)
+    pool once.  Results are deterministic in [params.seed] and independent
+    of [params.jobs]: the outer swarm runs in batch-synchronous mode, all
+    rng splits and position updates happen on the coordinating domain, and
+    only the pure inner-PSO evaluations fan out to worker domains (the
+    sharing-fitness memo table is mutex-guarded and memoises a
+    deterministic function, so it changes work, never values). *)

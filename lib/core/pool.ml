@@ -31,34 +31,48 @@ let materialise chip (config : Pathgen.config) =
   if Vectors.is_valid augmented suite then Some { config; augmented; suite; partners = None }
   else None
 
-let build ?(size = 8) ?(node_limit = 20_000) ~rng chip =
+let build ?(size = 8) ?(node_limit = 20_000) ?domains ~rng chip =
   let n_edges = Grid.n_edges (Chip.grid chip) in
   let channels = Chip.channel_edges chip in
   let free =
     Array.of_list
       (List.filter (fun e -> not (Bitset.mem channels e)) (List.init n_edges Fun.id))
   in
-  let seen = Hashtbl.create 8 in
-  let pool = ref [] in
-  for attempt = 0 to size - 1 do
-    let weights =
-      if attempt = 0 then fun _ -> 1. (* the unperturbed optimum first *)
-      else begin
-        let noise = Array.init n_edges (fun _ -> 1. +. Rng.uniform rng) in
-        fun e -> noise.(e)
-      end
-    in
+  (* all rng draws happen here, in attempt order, so the stream matches the
+     serial builder whatever the parallelism below *)
+  let weightss = Array.make (max 0 size) (fun _ -> 1. (* the unperturbed optimum first *)) in
+  for attempt = 1 to size - 1 do
+    let noise = Array.init n_edges (fun _ -> 1. +. Rng.uniform rng) in
+    weightss.(attempt) <- fun e -> noise.(e)
+  done;
+  (* solving the ILP and fault-simulating the candidate suite are pure in
+     the weights, so the attempts fan out; duplicate-key candidates cost a
+     redundant materialisation but the deduplicated result is identical *)
+  let solve weights =
     match Pathgen.generate ~weights ~node_limit chip with
-    | Error _ -> ()
+    | Error _ -> None
     | Ok config ->
       let key = String.concat "," (List.map string_of_int config.added_edges) in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
-        match materialise chip config with
-        | Some entry -> pool := entry :: !pool
-        | None -> ()
-      end
-  done;
+      Some (key, materialise chip config)
+  in
+  let candidates =
+    match domains with
+    | Some dpool -> Mf_util.Domain_pool.map dpool solve weightss
+    | None -> Array.map solve weightss
+  in
+  let seen = Hashtbl.create 8 in
+  let pool = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (key, entry) ->
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          match entry with
+          | Some entry -> pool := entry :: !pool
+          | None -> ()
+        end)
+    candidates;
   match List.rev !pool with
   | [] -> Error "no valid DFT configuration found"
   | entries -> Ok { entries = Array.of_list entries; free_edges = free }

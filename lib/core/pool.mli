@@ -25,13 +25,17 @@ type t
 val build :
   ?size:int ->
   ?node_limit:int ->
+  ?domains:Mf_util.Domain_pool.t ->
   rng:Mf_util.Rng.t ->
   Mf_arch.Chip.t ->
   (t, string) result
 (** [build ~rng chip] solves the path ILP [size] times (default 8) with
     weights drawn from [\[1, 2)], deduplicates by added-edge set, drops any
     configuration whose vector suite fails pre-sharing fault simulation,
-    and returns the pool (error if every attempt fails). *)
+    and returns the pool (error if every attempt fails).  [domains] fans
+    the per-attempt ILP solves and fault simulations out across a domain
+    pool; all weight perturbations are drawn up front on the caller, so the
+    resulting pool is identical whatever the parallelism. *)
 
 val entries : t -> entry array
 val size : t -> int

@@ -83,3 +83,70 @@ let run ?(params = default_params) ~rng ~dim ~fitness () =
     trace = List.rev !trace;
     evaluations = !evaluations;
   }
+
+(* Synchronous-update variant: every RNG draw happens here, in particle
+   order, before the whole iteration's positions go to [batch_fitness] as
+   one read-only batch.  Velocity updates use the previous iteration's
+   global best, so the outcome depends only on the rng stream and the
+   fitness values — never on the order the batch is evaluated in. *)
+let run_batch ?(params = default_params) ~rng ~dim ~batch_fitness () =
+  if dim <= 0 then invalid_arg "Pso.run_batch: dim must be positive";
+  let n = params.particles in
+  let evaluations = ref 0 in
+  let eval_all xs =
+    let fits = batch_fitness xs in
+    if Array.length fits <> Array.length xs then
+      invalid_arg "Pso.run_batch: batch_fitness must return one fitness per position";
+    evaluations := !evaluations + Array.length xs;
+    fits
+  in
+  let xs = Array.make n [||] in
+  let vs = Array.make n [||] in
+  for i = 0 to n - 1 do
+    xs.(i) <- Array.init dim (fun _ -> Rng.uniform rng);
+    vs.(i) <- Array.init dim (fun _ -> (Rng.uniform rng -. 0.5) *. params.v_max)
+  done;
+  let fits = eval_all xs in
+  let p_best = Array.map Array.copy xs in
+  let p_fit = Array.copy fits in
+  let g_best = ref (Array.copy xs.(0)) in
+  let g_fit = ref fits.(0) in
+  for i = 1 to n - 1 do
+    if fits.(i) < !g_fit then begin
+      g_fit := fits.(i);
+      g_best := Array.copy xs.(i)
+    end
+  done;
+  let trace = ref [] in
+  for _iter = 1 to params.iterations do
+    for i = 0 to n - 1 do
+      for d = 0 to dim - 1 do
+        let r1 = Rng.uniform rng and r2 = Rng.uniform rng in
+        let v =
+          (params.omega *. vs.(i).(d))
+          +. (params.c1 *. r1 *. (p_best.(i).(d) -. xs.(i).(d)))
+          +. (params.c2 *. r2 *. (!g_best.(d) -. xs.(i).(d)))
+        in
+        vs.(i).(d) <- clamp (-.params.v_max) params.v_max v;
+        xs.(i).(d) <- clamp 0. 1. (xs.(i).(d) +. vs.(i).(d))
+      done
+    done;
+    let fits = eval_all xs in
+    for i = 0 to n - 1 do
+      if fits.(i) < p_fit.(i) then begin
+        p_fit.(i) <- fits.(i);
+        p_best.(i) <- Array.copy xs.(i)
+      end;
+      if fits.(i) < !g_fit then begin
+        g_fit := fits.(i);
+        g_best := Array.copy xs.(i)
+      end
+    done;
+    trace := !g_fit :: !trace
+  done;
+  {
+    best_position = !g_best;
+    best_fitness = !g_fit;
+    trace = List.rev !trace;
+    evaluations = !evaluations;
+  }

@@ -42,3 +42,23 @@ val run :
     positions; it must be deterministic for reproducibility.  If every
     evaluation returns [infinity] the outcome's [best_fitness] is
     [infinity] and [best_position] is the last particle examined. *)
+
+val run_batch :
+  ?params:params ->
+  rng:Mf_util.Rng.t ->
+  dim:int ->
+  batch_fitness:(float array array -> float array) ->
+  unit ->
+  outcome
+(** Synchronous-update PSO: per iteration, all velocity/position updates
+    (and every rng draw) happen on the calling domain in particle order,
+    then the whole iteration's positions are handed to [batch_fitness] at
+    once.  [batch_fitness] must return fitnesses in input order, treat the
+    position arrays as read-only, and be a pure function of the positions —
+    under those rules the outcome is bit-identical however the batch is
+    evaluated (serially, or fanned out with {!Mf_util.Domain_pool.map}).
+
+    Unlike {!run}, later particles of an iteration do not see a global best
+    improved earlier in the same iteration (the classic synchronous PSO
+    trade-off that makes the batch independent); [evaluations] is still
+    [particles * (1 + iterations)]. *)

@@ -180,6 +180,42 @@ let test_leak_coverage_via_cuts () =
   check Alcotest.(list int) "only the spur valve's leak escapes" [ 2 ]
     report.Coverage.leak_undetected
 
+let test_exhaustive_benchmark_coverage () =
+  (* every single stuck-at fault on the smallest benchmark chip, against the
+     generated single-source single-meter test program — exhaustive, unlike
+     the sampled properties in test_props.ml *)
+  let chip = Option.get (Mf_chips.Benchmarks.by_name "ivd_chip") in
+  let config =
+    match Mf_testgen.Pathgen.generate ~node_limit:500 chip with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  let aug = Mf_testgen.Pathgen.apply chip config in
+  let cuts =
+    Mf_testgen.Cutgen.generate aug ~source:config.Mf_testgen.Pathgen.src_port
+      ~meter:config.Mf_testgen.Pathgen.dst_port
+  in
+  let suite = Mf_testgen.Vectors.of_config config cuts in
+  let suite =
+    if Mf_testgen.Vectors.is_valid aug suite then suite else Mf_testgen.Repair.run aug suite
+  in
+  let vectors = Mf_testgen.Vectors.vectors aug suite in
+  List.iter
+    (fun v -> check Alcotest.bool "vector well formed" true (Pressure.well_formed aug v))
+    vectors;
+  let faults = Fault.all aug in
+  let sa0 = List.filter (function Fault.Stuck_at_0 _ -> true | _ -> false) faults in
+  let sa1 = List.filter (function Fault.Stuck_at_1 _ -> true | _ -> false) faults in
+  check Alcotest.bool "sa0 universe covers every channel edge" true (List.length sa0 > 0);
+  check Alcotest.int "sa1 universe covers every valve" (Chip.n_valves aug) (List.length sa1);
+  List.iter
+    (fun fault ->
+      let detected = List.exists (fun v -> Pressure.detects aug v fault) vectors in
+      check Alcotest.bool
+        (Format.asprintf "detected: %a" (Fault.pp aug) fault)
+        true detected)
+    (sa0 @ sa1)
+
 let () =
   Alcotest.run "mf_faults"
     [
@@ -196,5 +232,10 @@ let () =
           Alcotest.test_case "leak semantics" `Quick test_leak_semantics;
           Alcotest.test_case "leak universe" `Quick test_leak_universe;
           Alcotest.test_case "leak coverage via cuts" `Quick test_leak_coverage_via_cuts;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "every stuck-at fault on ivd_chip detected" `Slow
+            test_exhaustive_benchmark_coverage;
         ] );
     ]
