@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- full         -- everything at paper-scale PSO budgets
      dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
      dune exec bench/main.exe -- ablate       -- design-choice ablations
+     dune exec bench/main.exe -- chaos        -- codesign matrix under fault injection
 
    Absolute times differ from the paper (different workload realisations and
    a simulated substrate); the comparisons that matter are the shapes:
@@ -68,8 +69,11 @@ let evaluate ~params =
             let app = Option.get (Assays.by_name assay) in
             let result =
               match pool with
-              | Error m -> Error m
-              | Ok pool -> Codesign.run ~params ~pool chip app
+              | Error f -> Error (Mf_util.Fail.to_string f)
+              | Ok pool -> (
+                  match Codesign.run ~params ~pool chip app with
+                  | Ok r -> Ok r
+                  | Error f -> Error (Mf_util.Fail.to_string f))
             in
             { assay; result })
           assays
@@ -230,7 +234,8 @@ let print_ablations () =
       List.iter
         (fun budget ->
           match Mf_testgen.Pathgen.generate ~node_limit:budget chip with
-          | Error m -> Format.printf "%-14s %14d %s@." chip_name budget m
+          | Error f ->
+            Format.printf "%-14s %14d %s@." chip_name budget (Mf_util.Fail.to_string f)
           | Ok c ->
             Format.printf "%-14s %14d %12d %12d@." chip_name budget
               (List.length c.Mf_testgen.Pathgen.added_edges)
@@ -243,7 +248,7 @@ let print_ablations () =
     (fun chip_name ->
       let chip = Option.get (Benchmarks.by_name chip_name) in
       match Mf_testgen.Pathgen.generate ~node_limit:400 chip with
-      | Error m -> Format.printf "%-14s %s@." chip_name m
+      | Error f -> Format.printf "%-14s %s@." chip_name (Mf_util.Fail.to_string f)
       | Ok config ->
         let aug = Mf_testgen.Pathgen.apply chip config in
         let minimal =
@@ -329,7 +334,7 @@ let speedup () =
     let params = { Codesign.quick_params with Codesign.jobs } in
     let t0 = Unix.gettimeofday () in
     match Codesign.run ~params chip app with
-    | Error m -> failwith m
+    | Error f -> failwith (Mf_util.Fail.to_string f)
     | Ok r -> (Unix.gettimeofday () -. t0, (r.Codesign.exec_final, r.Codesign.trace))
   in
   let t_serial, out_serial = time 1 in
@@ -339,6 +344,47 @@ let speedup () =
   Format.printf "speedup: %.2fx   outputs identical: %b@."
     (t_serial /. t_parallel)
     (out_serial = out_parallel)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos scenario: the full codesign matrix with fault injection enabled.
+   Every run must complete — either with a valid (possibly degraded) suite
+   or with a typed error — never an uncaught exception. Rate comes from
+   MFDFT_CHAOS when exported, else 30%. *)
+
+let chaos_bench () =
+  let rate = if Mf_util.Chaos.active () then Mf_util.Chaos.rate () else 0.3 in
+  Mf_util.Chaos.set (Some { Mf_util.Chaos.rate; seed = Mf_util.Chaos.default_seed });
+  Mf_util.Chaos.reset_counts ();
+  Format.printf "@.== Chaos: codesign matrix under %.0f%% fault injection ==@.@."
+    (rate *. 100.);
+  Format.printf "%-14s %-8s %-10s %-6s %s@." "chip" "assay" "outcome" "valid" "degradations";
+  let valid_runs = ref 0 and total = ref 0 in
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      List.iter
+        (fun assay ->
+          let app = Option.get (Assays.by_name assay) in
+          incr total;
+          match Codesign.run ~params:Codesign.quick_params chip app with
+          | Error f ->
+            Format.printf "%-14s %-8s %-10s %-6s %s@." chip_name assay "error" "-"
+              (Mf_util.Fail.to_string f)
+          | Ok r ->
+            let valid = Mf_testgen.Vectors.is_valid r.Codesign.shared r.Codesign.suite in
+            if valid then incr valid_runs;
+            Format.printf "%-14s %-8s %-10s %-6b %s@." chip_name assay "completed" valid
+              (match r.Codesign.degradations with
+               | [] -> "none"
+               | ds -> String.concat "; " (List.map Codesign.degradation_to_string ds)))
+        assays)
+    chips;
+  Format.printf "@.%d/%d runs completed with a valid suite; strikes injected:@." !valid_runs
+    !total;
+  List.iter
+    (fun (site, n) -> Format.printf "  %-14s %d@." (Mf_util.Chaos.site_name site) n)
+    (Mf_util.Chaos.strikes ());
+  Mf_util.Chaos.set None
 
 (* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
@@ -351,7 +397,7 @@ let micro () =
   let config =
     match Mf_testgen.Pathgen.generate ~node_limit:300 ivd with
     | Ok c -> c
-    | Error m -> failwith m
+    | Error f -> failwith (Mf_util.Fail.to_string f)
   in
   let aug = Mf_testgen.Pathgen.apply ivd config in
   let suite =
@@ -430,4 +476,6 @@ let () =
   if needs_rows && wants "fig8" then print_fig8 rows;
   if needs_rows && wants "fig9" then print_fig9 rows;
   if wants "ablate" then print_ablations ();
+  (* chaos is opt-in only: it deliberately breaks determinism *)
+  if List.mem "chaos" args then chaos_bench ();
   if List.mem "micro" args || List.mem "all" args then micro ()

@@ -68,13 +68,25 @@ let render_cmd =
   in
   Cmd.v (Cmd.info "render" ~doc:"Draw a chip's layout.") Term.(const run $ chip_arg)
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds. When it expires, solvers degrade gracefully and \
+           return their best feasible result so far instead of failing.")
+
 let testgen_cmd =
-  let run chip node_limit =
-    match Pathgen.generate ~node_limit chip with
-    | Error m ->
-      Format.eprintf "error: %s@." m;
+  let run chip node_limit deadline =
+    let budget = Option.map Mf_util.Budget.of_seconds deadline in
+    match Pathgen.generate ~node_limit ?budget chip with
+    | Error f ->
+      Format.eprintf "error: %a@." Mf_util.Fail.pp f;
       exit 1
     | Ok config ->
+      if config.Pathgen.degraded then
+        Format.printf "note: ILP budget exhausted; configuration from the greedy heuristic@.";
       let aug = Pathgen.apply chip config in
       let cuts = Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port in
       let suite = Vectors.of_config config cuts in
@@ -98,7 +110,7 @@ let testgen_cmd =
   in
   Cmd.v
     (Cmd.info "testgen" ~doc:"Generate the single-source single-meter test program for a chip.")
-    Term.(const run $ chip_arg $ node_limit)
+    Term.(const run $ chip_arg $ node_limit $ deadline_arg)
 
 let schedule_cmd =
   let run chip (assay_name, app) transport_cost verbose =
@@ -134,7 +146,23 @@ let schedule_cmd =
     Term.(const run $ chip_arg $ assay_arg $ transport_cost $ verbose)
 
 let codesign_cmd =
-  let run chip (assay_name, app) full seed jobs report =
+  let run chip (assay_name, app) full seed jobs report deadline ckpt_path ckpt_every resume
+      stop_after chaos =
+    (match chaos with
+     | None -> ()
+     | Some rate ->
+       Mf_util.Chaos.set (Some { Mf_util.Chaos.rate; seed = Mf_util.Chaos.default_seed }));
+    let budget = Option.map Mf_util.Budget.of_seconds deadline in
+    let checkpoint =
+      match ckpt_path with
+      | None ->
+        if resume || stop_after <> None then begin
+          Format.eprintf "error: --resume/--stop-after require --checkpoint FILE@.";
+          exit 1
+        end;
+        None
+      | Some path -> Some { Codesign.path; every = ckpt_every; resume; stop_after }
+    in
     let jobs = match jobs with Some j -> max 1 j | None -> 1 in
     let params =
       let base = if full then Codesign.default_params else Codesign.quick_params in
@@ -145,9 +173,9 @@ let codesign_cmd =
       (if full then "paper-scale" else "quick")
       seed jobs
       (if jobs = 1 then "" else "s");
-    match Codesign.run ~params chip app with
-    | Error m ->
-      Format.eprintf "error: %s@." m;
+    match Codesign.run ~params ?budget ?checkpoint chip app with
+    | Error f ->
+      Format.eprintf "error: %a@." Mf_util.Fail.pp f;
       exit 1
     | Ok r ->
       let pp_time ppf = function Some t -> Fmt.pf ppf "%d s" t | None -> Fmt.pf ppf "n/a" in
@@ -157,6 +185,11 @@ let codesign_cmd =
       Format.printf "exec original: %a   DFT free-control: %a   DFT no-PSO: %a   DFT+PSO: %a@."
         pp_time r.Codesign.exec_original pp_time r.Codesign.exec_dft_unshared pp_time
         r.Codesign.exec_dft_no_pso pp_time r.Codesign.exec_final;
+      (match r.Codesign.degradations with
+       | [] -> ()
+       | ds ->
+         Format.printf "degraded result (still valid):@.";
+         List.iter (fun d -> Format.printf "  - %s@." (Codesign.degradation_to_string d)) ds);
       match report with
       | None -> ()
       | Some path ->
@@ -177,9 +210,51 @@ let codesign_cmd =
   let report =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"Write a Markdown report.")
   in
+  let ckpt_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Save the outer-PSO state to $(docv) periodically so the run can be resumed.")
+  in
+  let ckpt_every =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) outer iterations.")
+  in
+  let resume =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the file given with --checkpoint. The resumed run is bit-identical to \
+             an uninterrupted run with the same seed and budgets.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) outer iterations, saving a checkpoint (for testing \
+             interrupted-run recovery).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "chaos" ] ~docv:"RATE"
+          ~doc:
+            "Software fault injection: make each solver call fail with probability $(docv) \
+             (same as MFDFT_CHAOS). Exercises the degradation paths.")
+  in
   Cmd.v
     (Cmd.info "codesign" ~doc:"Run the full DFT + valve-sharing codesign flow (Sec. 4.2).")
-    Term.(const run $ chip_arg $ assay_arg $ full $ seed $ jobs $ report)
+    Term.(
+      const run $ chip_arg $ assay_arg $ full $ seed $ jobs $ report $ deadline_arg $ ckpt_path
+      $ ckpt_every $ resume $ stop_after $ chaos)
 
 let export_cmd =
   let run chip assay_opt out_dir =
@@ -193,7 +268,7 @@ let export_cmd =
     let layout = Mf_control.Control.synthesize chip in
     write "control.svg" (Mf_viz.Svg.control_layer chip layout);
     (match Mf_testgen.Pathgen.generate ~node_limit:600 chip with
-     | Error m -> Format.eprintf "testgen failed: %s@." m
+     | Error f -> Format.eprintf "testgen failed: %a@." Mf_util.Fail.pp f
      | Ok config ->
        let aug = Mf_testgen.Pathgen.apply chip config in
        write "chip_dft.svg" (Mf_viz.Svg.chip aug);
@@ -220,7 +295,15 @@ let () =
     Cmd.info "mfdft" ~version:"1.0.0"
       ~doc:"Design-for-testability for continuous-flow microfluidic biochips (DAC 2018 reproduction)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; render_cmd; testgen_cmd; schedule_cmd; codesign_cmd; export_cmd ]))
+  let group =
+    Cmd.group info [ list_cmd; render_cmd; testgen_cmd; schedule_cmd; codesign_cmd; export_cmd ]
+  in
+  (* One-line diagnostics instead of backtraces: anything the commands do
+     not handle themselves surfaces as "mfdft: error: ..." with exit 3. *)
+  let code =
+    try Cmd.eval ~catch:false group
+    with e ->
+      Format.eprintf "mfdft: error: %s@." (Printexc.to_string e);
+      3
+  in
+  exit code

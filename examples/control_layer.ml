@@ -21,7 +21,7 @@ let () =
   Format.printf "Flow layer:@.%s@." (Chip.render chip);
   let _ = describe "original" chip in
   match Pathgen.generate ~node_limit:400 chip with
-  | Error m -> Format.printf "DFT generation failed: %s@." m
+  | Error f -> Format.printf "DFT generation failed: %s@." (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let _ = describe "augmented, free control" aug in

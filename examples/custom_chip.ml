@@ -62,7 +62,7 @@ let () =
      Format.printf "Assay cannot run on the original chip: %a@."
        Mf_sched.Schedule.pp_failure f);
   match Pathgen.generate chip with
-  | Error m -> Format.printf "DFT generation failed: %s@." m
+  | Error f -> Format.printf "DFT generation failed: %s@." (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let cuts =

@@ -17,7 +17,7 @@ module Pressure = Mf_faults.Pressure
 let () =
   let chip = Option.get (Mf_chips.Benchmarks.by_name "ivd_chip") in
   let config =
-    match Pathgen.generate chip with Ok c -> c | Error m -> failwith m
+    match Pathgen.generate chip with Ok c -> c | Error f -> failwith (Mf_util.Fail.to_string f)
   in
   let aug = Pathgen.apply chip config in
   let cuts =

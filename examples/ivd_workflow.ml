@@ -23,7 +23,7 @@ let () =
     (Mf_bioassay.Seqgraph.n_ops app);
   Format.printf "Running two-level PSO codesign (quick budgets)...@.";
   match Codesign.run ~params:Codesign.quick_params chip app with
-  | Error m -> Format.printf "codesign failed: %s@." m
+  | Error f -> Format.printf "codesign failed: %s@." (Mf_util.Fail.to_string f)
   | Ok r ->
     Format.printf "@.Augmented architecture ('o' marks DFT valves):@.%s@."
       (Chip.render r.Codesign.augmented);

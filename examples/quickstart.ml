@@ -41,7 +41,7 @@ let () =
   let config =
     match Pathgen.generate chip with
     | Ok c -> c
-    | Error m -> failwith m
+    | Error f -> failwith (Mf_util.Fail.to_string f)
   in
   let ports = Chip.ports chip in
   Format.printf "Test ports: source %s, meter %s (farthest pair)@."

@@ -34,7 +34,7 @@ let () =
       in
       let label = Printf.sprintf "synthetic (%d,%d,%d)" mixers detectors ports in
       match Pathgen.generate ~node_limit:400 chip with
-      | Error m -> Format.printf "%-28s %s@." label m
+      | Error f -> Format.printf "%-28s %s@." label (Mf_util.Fail.to_string f)
       | Ok config ->
         let aug = Pathgen.apply chip config in
         let cuts =

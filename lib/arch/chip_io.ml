@@ -28,9 +28,19 @@ type accumulator = {
   mutable share : (int * int) list; (* reversed *)
 }
 
+(* 1-based column of the first occurrence of [token] in [raw], for parse
+   errors that can name the offending token. *)
+let column_of raw token =
+  let n = String.length raw and m = String.length token in
+  let rec go i =
+    if m = 0 || i + m > n then None
+    else if String.sub raw i m = token then Some (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
 let parse text =
   let acc = { builder = None; dft = []; share = [] } in
-  let error line msg = Error (Printf.sprintf "line %d: %s" line msg) in
   let rec process lineno = function
     | [] -> finish ()
     | raw :: rest ->
@@ -41,6 +51,14 @@ let parse text =
       in
       let words =
         String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+      in
+      (* errors point at the offending token when one is identifiable,
+         otherwise at the directive itself *)
+      let error ?token lineno msg =
+        let anchor = match token with Some t -> Some t | None -> List.nth_opt words 0 in
+        match Option.bind anchor (column_of raw) with
+        | Some col -> Error (Printf.sprintf "line %d, col %d: %s" lineno col msg)
+        | None -> Error (Printf.sprintf "line %d: %s" lineno msg)
       in
       (match words with
        | [] -> process (lineno + 1) rest
@@ -62,13 +80,15 @@ let parse text =
            | Some b -> (
                let with_points points k =
                  let parsed = List.map parse_point points in
-                 if List.exists (( = ) None) parsed then
-                   error lineno "points must look like X,Y"
-                 else
+                 match
+                   List.find_opt (fun (_, p) -> p = None) (List.combine points parsed)
+                 with
+                 | Some (token, _) -> error ~token lineno "points must look like X,Y"
+                 | None -> (
                    try
                      k (List.map Option.get parsed);
                      process (lineno + 1) rest
-                   with Invalid_argument m -> error lineno m
+                   with Invalid_argument m -> error lineno m)
                in
                match (directive, args) with
                | "device", [ kind; x; y; name ] -> (

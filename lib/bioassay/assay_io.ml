@@ -5,11 +5,21 @@ let kind_of_string = function
   | "filter" -> Some Op.Filter
   | _ -> None
 
+(* 1-based column of the first occurrence of [token] in [raw], for parse
+   errors that can name the offending directive. *)
+let column_of raw token =
+  let n = String.length raw and m = String.length token in
+  let rec go i =
+    if m = 0 || i + m > n then None
+    else if String.sub raw i m = token then Some (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
 let parse text =
   let ops = ref [] in
   let deps = ref [] in
   let seen_header = ref false in
-  let error line msg = Error (Printf.sprintf "line %d: %s" line msg) in
   let rec process lineno = function
     | [] ->
       if not !seen_header then Error "empty description: missing assay header"
@@ -26,6 +36,11 @@ let parse text =
         in
         let words =
           String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+        in
+        let error lineno msg =
+          match Option.bind (List.nth_opt words 0) (column_of raw) with
+          | Some col -> Error (Printf.sprintf "line %d, col %d: %s" lineno col msg)
+          | None -> Error (Printf.sprintf "line %d: %s" lineno msg)
         in
         match words with
         | [] -> process (lineno + 1) rest

@@ -36,6 +36,20 @@ let quick_params =
     ilp_node_limit = 2_000;
   }
 
+type degradation =
+  | Heuristic_config
+  | Pool_rejects of int
+  | Sharing_fallback
+  | Budget_exhausted
+
+let degradation_to_string = function
+  | Heuristic_config -> "configuration from greedy heuristic (ILP budget exhausted)"
+  | Pool_rejects n ->
+    Printf.sprintf "%d pool candidate%s rejected by post-repair fault simulation" n
+      (if n = 1 then "" else "s")
+  | Sharing_fallback -> "no testable sharing scheme found; shipping unshared DFT architecture"
+  | Budget_exhausted -> "wall-clock budget exhausted; optimisation cut short"
+
 type result = {
   original : Chip.t;
   augmented : Chip.t;
@@ -53,6 +67,14 @@ type result = {
   trace : float list;
   evaluations : int;
   runtime : float;
+  degradations : degradation list;
+}
+
+type checkpoint = {
+  path : string;
+  every : int;
+  resume : bool;
+  stop_after : int option;
 }
 
 (* A sharing scheme is testable if the configuration's suite still covers
@@ -107,6 +129,72 @@ let cache_fold cache f init =
   let acc = Hashtbl.fold (fun _ v acc -> f v acc) cache.tbl init in
   Mutex.unlock cache.lock;
   acc
+
+let cache_dump cache =
+  Mutex.lock cache.lock;
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) cache.tbl [] in
+  Mutex.unlock cache.lock;
+  Array.of_list items
+
+let cache_restore cache items = Array.iter (fun (k, v) -> Hashtbl.replace cache.tbl k v) items
+
+(* On-disk snapshot of a paused run.  Everything the continuation depends
+   on is stored by value: the pool (rebuilding it under chaos or a changed
+   budget would diverge), the outer swarm state, the root rng (it is split
+   once per particle per iteration inside [outer_batch]), the running best
+   (as an index into the pool's entries), the fitness memo (the no-PSO
+   baseline scans it) and the evaluation counter.  Plain data only, so
+   [Marshal] round-trips it; loadable by binaries built from the same
+   sources. *)
+let snapshot_magic = "mfdft-codesign-checkpoint-v1"
+
+type snapshot = {
+  ck_magic : string;
+  ck_seed : int;
+  ck_particles : int;
+  ck_iterations : int;
+  ck_pool : Pool.t;
+  ck_pso : Pso.batch_state;
+  ck_root_rng : Rng.t;
+  ck_best : (int * Sharing.t * float) option;
+  ck_cache : ((int list * Sharing.t) * float) array;
+  ck_evals : int;
+}
+
+let save_snapshot path (snap : snapshot) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc snap [];
+  close_out oc;
+  Sys.rename tmp path
+
+let load_snapshot ~seed ~outer path : (snapshot, Mf_util.Fail.t) Stdlib.result =
+  let fail reason = Error (Mf_util.Fail.v Mf_util.Fail.Codesign reason) in
+  match open_in_bin path with
+  | exception Sys_error msg -> fail (Printf.sprintf "cannot read checkpoint: %s" msg)
+  | ic ->
+    let snap =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          match (Marshal.from_channel ic : snapshot) with
+          | snap -> Ok snap
+          | exception (Failure _ | End_of_file) -> Error ())
+    in
+    (match snap with
+     | Error () -> fail (Printf.sprintf "corrupt or truncated checkpoint %s" path)
+     | Ok snap ->
+       if snap.ck_magic <> snapshot_magic then
+         fail (Printf.sprintf "%s is not a codesign checkpoint" path)
+       else if
+         snap.ck_seed <> seed
+         || snap.ck_particles <> outer.Pso.particles
+         || snap.ck_iterations <> outer.Pso.iterations
+       then
+         fail
+           (Printf.sprintf
+              "checkpoint %s was taken with different codesign parameters (seed %d, %d \
+               particles, %d iterations)"
+              path snap.ck_seed snap.ck_particles snap.ck_iterations)
+       else Ok snap)
 
 (* Fitness shaping: schemes whose test program cannot be completed are
    penalised by how many faults escape; schemes that deadlock the
@@ -173,24 +261,43 @@ let decode_constrained allowed position =
 let random_constrained rng allowed =
   List.map (fun (d, options) -> (d, options.(Rng.int rng (Array.length options)))) allowed
 
-let run ?(params = default_params) ?pool chip app =
+let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
   let started = Unix.gettimeofday () in
   let rng = Rng.create ~seed:params.seed in
   let evaluations = Atomic.make 0 in
   Domain_pool.with_pool ~jobs:(max 1 params.jobs) @@ fun dpool ->
+  let resume_snap =
+    match checkpoint with
+    | Some ck when ck.resume && Sys.file_exists ck.path ->
+      (match load_snapshot ~seed:params.seed ~outer:params.outer ck.path with
+       | Ok snap -> Ok (Some snap)
+       | Error f -> Error f)
+    | _ -> Ok None
+  in
+  match resume_snap with
+  | Error f -> Error f
+  | Ok resume_snap ->
   let pool =
-    match pool with
-    | Some pool ->
-      (* consume the stream the builder would have used, so results with a
-         pre-built pool match results without one *)
+    match resume_snap with
+    | Some snap ->
+      (* the run being resumed owns the rng stream; the root rng is
+         restored from the snapshot below, so this split is irrelevant —
+         it only keeps the code path uniform *)
       ignore (Rng.split rng);
-      Ok pool
+      Ok snap.ck_pool
     | None ->
-      Pool.build ~size:params.pool_size ~node_limit:params.ilp_node_limit ~domains:dpool
-        ~rng:(Rng.split rng) chip
+      (match pool with
+       | Some pool ->
+         (* consume the stream the builder would have used, so results with
+            a pre-built pool match results without one *)
+         ignore (Rng.split rng);
+         Ok pool
+       | None ->
+         Pool.build ~size:params.pool_size ~node_limit:params.ilp_node_limit ~domains:dpool
+           ?budget ~rng:(Rng.split rng) chip)
   in
   match pool with
-  | Error msg -> Error msg
+  | Error f -> Error f
   | Ok pool ->
     let cache = cache_create () in
     let fitness_of entry scheme =
@@ -205,7 +312,7 @@ let run ?(params = default_params) ?pool chip app =
       if dim = 0 then ([], fitness_of entry [])
       else begin
         let outcome =
-          Pso.run ~params:params.inner ~rng:inner_rng ~dim
+          Pso.run ~params:params.inner ?budget ~rng:inner_rng ~dim
             ~fitness:(fun position -> fitness_of entry (decode_constrained allowed position))
             ()
         in
@@ -228,7 +335,13 @@ let run ?(params = default_params) ?pool chip app =
         prepared.(i) <- Some (entry, allowed, Rng.split rng)
       done;
       let evaluated =
-        Domain_pool.map dpool
+        (* particles whose task starts after the deadline degrade to an
+           empty scheme at infinite fitness: never the best, never invalid
+           input downstream *)
+        Domain_pool.map_bounded dpool ?budget
+          ~fallback:(function
+            | Some (entry, _, _) -> (entry, [], infinity)
+            | None -> assert false)
           (function
             | Some (entry, allowed, inner_rng) ->
               let scheme, fit = best_sharing entry allowed inner_rng in
@@ -244,18 +357,94 @@ let run ?(params = default_params) ?pool chip app =
         evaluated;
       Array.map (fun (_, _, fit) -> fit) evaluated
     in
-    let outcome =
-      Pso.run_batch ~params:params.outer ~rng:outer_rng ~dim:outer_dim
-        ~batch_fitness:outer_batch ()
+    (* restore the interrupted run's state: memo cache (the no-PSO baseline
+       scans it), evaluation counter, running best, and the root rng stream
+       as it stood after the snapshot iteration's splits *)
+    (match resume_snap with
+     | None -> ()
+     | Some snap ->
+       cache_restore cache snap.ck_cache;
+       Atomic.set evaluations snap.ck_evals;
+       (match snap.ck_best with
+        | Some (idx, scheme, fit) when idx >= 0 && idx < Pool.size pool ->
+          best_entry := Some ((Pool.entries pool).(idx), scheme, fit)
+        | Some _ | None -> ());
+       Rng.blit ~src:snap.ck_root_rng ~dst:rng);
+    let snapshot_of pso_state =
+      {
+        ck_magic = snapshot_magic;
+        ck_seed = params.seed;
+        ck_particles = params.outer.Pso.particles;
+        ck_iterations = params.outer.Pso.iterations;
+        ck_pool = pool;
+        ck_pso = pso_state;
+        ck_root_rng = Rng.copy rng;
+        ck_best =
+          (match !best_entry with
+           | None -> None
+           | Some (entry, scheme, fit) ->
+             let idx = ref (-1) in
+             Array.iteri (fun i e -> if e == entry then idx := i) (Pool.entries pool);
+             Some (!idx, scheme, fit));
+        ck_cache = cache_dump cache;
+        ck_evals = Atomic.get evaluations;
+      }
     in
+    let exception Stop_after_checkpoint of int in
+    let hook =
+      match checkpoint with
+      | None -> None
+      | Some ck ->
+        Some
+          (fun it state ->
+            let stop = ck.stop_after = Some it in
+            let due =
+              stop
+              || (ck.every > 0 && it mod ck.every = 0)
+              || it = params.outer.Pso.iterations
+            in
+            if due then save_snapshot ck.path (snapshot_of state);
+            if stop then raise (Stop_after_checkpoint it))
+    in
+    let outcome =
+      match
+        Pso.run_batch ~params:params.outer ?budget ?checkpoint:hook
+          ?resume:(Option.map (fun s -> s.ck_pso) resume_snap) ~rng:outer_rng ~dim:outer_dim
+          ~batch_fitness:outer_batch ()
+      with
+      | outcome -> Ok outcome
+      | exception Stop_after_checkpoint it ->
+        let path = match checkpoint with Some ck -> ck.path | None -> "?" in
+        Error
+          (Mf_util.Fail.v Mf_util.Fail.Codesign
+             ?incumbent:
+               (match !best_entry with
+                | Some (_, _, fit) when fit < invalid_threshold ->
+                  Some (Printf.sprintf "makespan %d" (int_of_float fit))
+                | _ -> None)
+             (Printf.sprintf
+                "stopped after outer iteration %d; checkpoint saved to %s (rerun with \
+                 --resume to continue)"
+                it path))
+    in
+    match outcome with
+    | Error f -> Error f
+    | Ok outcome ->
     (match !best_entry with
-     | None -> Error "two-level PSO produced no evaluation"
+     | None ->
+       Error (Mf_util.Fail.v Mf_util.Fail.Codesign "two-level PSO produced no evaluation")
      | Some (entry, scheme, best_fit) ->
        let augmented = entry.Pool.augmented in
-       let shared, suite =
+       let scheme, shared, suite, sharing_fallback =
          match testable_suite entry scheme with
-         | Testable (shared, suite) -> (shared, suite)
-         | Untestable _ -> (Sharing.apply augmented scheme, entry.Pool.suite)
+         | Testable (shared, suite) -> (scheme, shared, suite, false)
+         | Untestable _ ->
+           (* degrade to the unshared DFT architecture: the empty scheme is
+              testable by pool construction, so the shipped suite is always
+              valid on the shipped chip *)
+           (match testable_suite entry [] with
+            | Testable (shared, suite) -> ([], shared, suite, true)
+            | Untestable _ -> ([], augmented, entry.Pool.suite, true))
        in
        (* Table 1 baseline: the first valid random sharing, no PSO — random
           search over the same feasible partner sets the swarm uses *)
@@ -283,13 +472,27 @@ let run ?(params = default_params) ?pool chip app =
          |> Option.map int_of_float
        in
        let exec_dft_no_pso =
-         match first_valid 100 with Some t -> Some t | None -> worst_cached_valid ()
+         (* past the deadline, don't burn 100 more schedule evaluations on a
+            baseline: settle for what the cache already holds *)
+         if Mf_util.Budget.over budget then worst_cached_valid ()
+         else match first_valid 100 with Some t -> Some t | None -> worst_cached_valid ()
        in
        (* Fig. 7 baseline: DFT resources with independent control lines *)
        let exec_dft_unshared = Scheduler.makespan ~options:params.scheduler augmented app in
        let exec_original = Scheduler.makespan ~options:params.scheduler chip app in
        let exec_final =
          if best_fit < invalid_threshold then Some (int_of_float best_fit) else None
+       in
+       let degradations =
+         List.filter_map Fun.id
+           [
+             (match Pool.rejects pool with
+              | [] -> None
+              | rs -> Some (Pool_rejects (List.length rs)));
+             (if entry.Pool.config.Pathgen.degraded then Some Heuristic_config else None);
+             (if sharing_fallback then Some Sharing_fallback else None);
+             (if Mf_util.Budget.over budget then Some Budget_exhausted else None);
+           ]
        in
        Ok
          {
@@ -309,4 +512,5 @@ let run ?(params = default_params) ?pool chip app =
            trace = outcome.Pso.trace;
            evaluations = Atomic.get evaluations;
            runtime = Unix.gettimeofday () -. started;
+           degradations;
          })

@@ -32,6 +32,20 @@ val quick_params : params
 (** Reduced budget for CI and the default bench run: 8 outer iterations,
     6 inner; same swarm sizes. *)
 
+type degradation =
+  | Heuristic_config
+      (** the chosen DFT configuration came from the greedy heuristic, not
+          the ILP (node or wall-clock budget exhausted) *)
+  | Pool_rejects of int
+      (** this many pool candidates were rejected by post-repair fault
+          simulation *)
+  | Sharing_fallback
+      (** no testable sharing scheme was found; the result ships the
+          unshared DFT architecture with its (valid) pre-sharing suite *)
+  | Budget_exhausted  (** the wall-clock budget ran out before completion *)
+
+val degradation_to_string : degradation -> string
+
 type result = {
   original : Mf_arch.Chip.t;
   augmented : Mf_arch.Chip.t;  (** best configuration applied *)
@@ -53,6 +67,10 @@ type result = {
           (render as "no valid scheme yet"). *)
   evaluations : int;  (** schedule/validation calls *)
   runtime : float;  (** wall-clock seconds of the whole flow *)
+  degradations : degradation list;
+      (** every way this result is weaker than a clean full run; empty for
+          an undisturbed run.  The suite in [suite] is valid on [shared]
+          regardless (graceful degradation, never an invalid artifact). *)
 }
 
 val invalid_threshold : float
@@ -60,12 +78,24 @@ val invalid_threshold : float
     failed validation (graded by how many faults escape) or deadlocked the
     application; values below it are plain makespans. *)
 
+type checkpoint = {
+  path : string;  (** snapshot file, written atomically (tmp + rename) *)
+  every : int;  (** save after every [every] outer iterations; [0] = only on stop/finish *)
+  resume : bool;  (** load [path] first if it exists and continue from it *)
+  stop_after : int option;
+      (** save and abort (with a typed error naming the checkpoint) after
+          this many completed outer iterations — bounded sessions, and the
+          kill half of the kill/resume differential test *)
+}
+
 val run :
   ?params:params ->
   ?pool:Pool.t ->
+  ?budget:Mf_util.Budget.t ->
+  ?checkpoint:checkpoint ->
   Mf_arch.Chip.t ->
   Mf_bioassay.Seqgraph.t ->
-  (result, string) Stdlib.result
+  (result, Mf_util.Fail.t) Stdlib.result
 (** [run chip app] executes the whole flow.  [pool] short-circuits the ILP
     configuration-pool construction — pools depend only on the chip, so
     callers evaluating several applications on one chip (Table 1) build the
@@ -74,4 +104,14 @@ val run :
     rng splits and position updates happen on the coordinating domain, and
     only the pure inner-PSO evaluations fan out to worker domains (the
     sharing-fitness memo table is mutex-guarded and memoises a
-    deterministic function, so it changes work, never values). *)
+    deterministic function, so it changes work, never values).
+
+    [budget] bounds wall-clock time across every stage (pool ILPs, inner
+    and outer PSO, baselines); when it expires the best feasible result so
+    far is returned with [Budget_exhausted] recorded — the suite is still
+    valid for the returned chip.  [checkpoint] enables snapshotting after
+    outer iterations and resuming: an interrupted run resumed from its
+    snapshot (same binary, params and seed, no budget/chaos interference)
+    finishes bit-identical to the uninterrupted run.  Hard failures
+    ([Error]) carry the failing stage, budget consumed and best incumbent
+    ({!Mf_util.Fail.t}). *)

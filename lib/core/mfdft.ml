@@ -11,7 +11,7 @@
       let app = Mf_bioassay.Assays.ivd () in
       match Mfdft.Codesign.run chip app with
       | Ok r -> Format.printf "exec time with DFT: %a@." Fmt.(option int) r.exec_final
-      | Error msg -> prerr_endline msg
+      | Error f -> prerr_endline (Mf_util.Fail.to_string f)
     ]}
 
     Layering (see DESIGN.md):

@@ -13,12 +13,15 @@ type entry = {
   mutable partners : (int * int array) list option;
 }
 
-type t = { entries : entry array; free_edges : int array }
+type reject = { rejected_config : Pathgen.config; escaped : int; malformed : int }
+
+type t = { entries : entry array; free_edges : int array; rejects : reject list }
 
 let entries t = t.entries
 let size t = Array.length t.entries
 
 let free_edges t = t.free_edges
+let rejects t = t.rejects
 
 let materialise chip (config : Pathgen.config) =
   let augmented = Pathgen.apply chip config in
@@ -28,10 +31,17 @@ let materialise chip (config : Pathgen.config) =
     if Vectors.is_valid augmented suite then suite
     else Mf_testgen.Repair.run augmented suite
   in
-  if Vectors.is_valid augmented suite then Some { config; augmented; suite; partners = None }
-  else None
+  let report = Vectors.validate augmented suite in
+  if Mf_faults.Coverage.complete report then Ok { config; augmented; suite; partners = None }
+  else
+    Error
+      {
+        rejected_config = config;
+        escaped = report.Mf_faults.Coverage.total_faults - report.Mf_faults.Coverage.detected;
+        malformed = report.Mf_faults.Coverage.malformed;
+      }
 
-let build ?(size = 8) ?(node_limit = 20_000) ?domains ~rng chip =
+let build ?(size = 8) ?(node_limit = 20_000) ?domains ?budget ~rng chip =
   let n_edges = Grid.n_edges (Chip.grid chip) in
   let channels = Chip.channel_edges chip in
   let free =
@@ -49,7 +59,7 @@ let build ?(size = 8) ?(node_limit = 20_000) ?domains ~rng chip =
      the weights, so the attempts fan out; duplicate-key candidates cost a
      redundant materialisation but the deduplicated result is identical *)
   let solve weights =
-    match Pathgen.generate ~weights ~node_limit chip with
+    match Pathgen.generate ~weights ~node_limit ?budget chip with
     | Error _ -> None
     | Ok config ->
       let key = String.concat "," (List.map string_of_int config.added_edges) in
@@ -57,25 +67,53 @@ let build ?(size = 8) ?(node_limit = 20_000) ?domains ~rng chip =
   in
   let candidates =
     match domains with
-    | Some dpool -> Mf_util.Domain_pool.map dpool solve weightss
-    | None -> Array.map solve weightss
+    | Some dpool ->
+      Mf_util.Domain_pool.map_bounded dpool ?budget ~fallback:(fun _ -> None) solve weightss
+    | None ->
+      Array.map
+        (fun w -> if Mf_util.Budget.over budget then None else solve w)
+        weightss
   in
   let seen = Hashtbl.create 8 in
   let pool = ref [] in
-  Array.iter
-    (function
-      | None -> ()
-      | Some (key, entry) ->
-        if not (Hashtbl.mem seen key) then begin
-          Hashtbl.add seen key ();
-          match entry with
-          | Some entry -> pool := entry :: !pool
-          | None -> ()
-        end)
-    candidates;
+  let rejected = ref [] in
+  let consider = function
+    | None -> ()
+    | Some (key, outcome) ->
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        match outcome with
+        | Ok entry -> pool := entry :: !pool
+        | Error reject -> rejected := reject :: !rejected
+      end
+  in
+  Array.iter consider candidates;
+  (match List.rev !pool with
+   | [] ->
+     (* degradation ladder, last rung before giving up: the deterministic
+        greedy cover with no ILP at all — cheap enough to run even when the
+        budget is already spent *)
+     (match Pathgen.generate ~node_limit:0 chip with
+      | Ok config ->
+        consider
+          (Some (String.concat "," (List.map string_of_int config.added_edges), materialise chip config))
+      | Error _ -> ())
+   | _ :: _ -> ());
   match List.rev !pool with
-  | [] -> Error "no valid DFT configuration found"
-  | entries -> Ok { entries = Array.of_list entries; free_edges = free }
+  | [] ->
+    let n_rejected = List.length !rejected in
+    let reason =
+      if n_rejected = 0 then "no DFT configuration found"
+      else
+        Printf.sprintf
+          "no valid DFT configuration found (%d candidate%s rejected: repair left faults \
+           escaping simulation)"
+          n_rejected
+          (if n_rejected = 1 then "" else "s")
+    in
+    Error (Mf_util.Fail.v Mf_util.Fail.Pool reason)
+  | entries ->
+    Ok { entries = Array.of_list entries; free_edges = free; rejects = List.rev !rejected }
 
 let decode t position =
   let pref = Hashtbl.create 32 in

@@ -20,25 +20,46 @@ type entry = {
           chip share the work *)
 }
 
+type reject = {
+  rejected_config : Mf_testgen.Pathgen.config;
+  escaped : int;  (** faults still escaping simulation after repair *)
+  malformed : int;  (** vectors whose fault-free reading is wrong *)
+}
+(** A candidate configuration that fault simulation rejected even after
+    {!Mf_testgen.Repair.run} — surfaced instead of silently dropped so
+    callers and reports can tell how much of the pool was lost. *)
+
 type t
 
 val build :
   ?size:int ->
   ?node_limit:int ->
   ?domains:Mf_util.Domain_pool.t ->
+  ?budget:Mf_util.Budget.t ->
   rng:Mf_util.Rng.t ->
   Mf_arch.Chip.t ->
-  (t, string) result
+  (t, Mf_util.Fail.t) result
 (** [build ~rng chip] solves the path ILP [size] times (default 8) with
-    weights drawn from [\[1, 2)], deduplicates by added-edge set, drops any
-    configuration whose vector suite fails pre-sharing fault simulation,
-    and returns the pool (error if every attempt fails).  [domains] fans
-    the per-attempt ILP solves and fault simulations out across a domain
-    pool; all weight perturbations are drawn up front on the caller, so the
-    resulting pool is identical whatever the parallelism. *)
+    weights drawn from [\[1, 2)], deduplicates by added-edge set, records
+    any configuration whose vector suite fails post-repair fault simulation
+    under {!rejects}, and returns the pool.  [domains] fans the per-attempt
+    ILP solves and fault simulations out across a domain pool; all weight
+    perturbations are drawn up front on the caller, so the resulting pool
+    is identical whatever the parallelism.  [budget] bounds wall-clock
+    time: attempts starting after the deadline are skipped and each ILP
+    solve degrades to the greedy heuristic when time runs out.
+
+    Degradation ladder: if every ILP attempt fails, is skipped, or is
+    rejected, one last candidate is built from the pure greedy cover
+    ([node_limit:0]); only when that too is rejected does [build] return a
+    typed [Error] — so any chip the heuristic can cover always yields a
+    non-empty pool. *)
 
 val entries : t -> entry array
 val size : t -> int
+
+val rejects : t -> reject list
+(** Candidates rejected by post-repair fault simulation, in attempt order. *)
 
 val free_edges : t -> int array
 (** Grid edges unoccupied in the original chip — the outer PSO dimensions. *)

@@ -68,6 +68,12 @@ let markdown ?(title = "DFT codesign report") (r : Codesign.result) =
      let final = List.nth valid (List.length valid - 1) in
      out "- global best improved from %.0f s to %.0f s over %d iterations\n" v0 final
        (List.length r.trace));
+  out "\n## Resilience\n\n";
+  (match r.degradations with
+   | [] -> out "Clean run: no degradations.\n"
+   | ds ->
+     out "This result is degraded (still valid, but weaker than a clean full run):\n\n";
+     List.iter (fun d -> out "- %s\n" (Codesign.degradation_to_string d)) ds);
   Buffer.contents buf
 
 let save path result =

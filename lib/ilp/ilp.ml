@@ -51,8 +51,13 @@ type node = { fixings : (var * float) list; bound : float }
 
 let node_priority bound depth = bound -. (1e-7 *. float_of_int depth)
 
-let solve ?(node_limit = 100_000) ?(lazy_cuts = fun _ -> []) ?(branch_priority = fun _ -> 0)
-    ?(upper_bound = infinity) t =
+let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
+    ?(branch_priority = fun _ -> 0) ?(upper_bound = infinity) t =
+  (* Fault injection: truncate the node budget so callers exercise their
+     [Node_limit]/[Feasible] handling on real models. *)
+  let node_limit =
+    if Mf_util.Chaos.strike Ilp_nodes then min node_limit 2 else node_limit
+  in
   let binaries = Array.of_list (List.rev t.binaries) in
   let incumbent = ref None in
   let incumbent_obj = ref upper_bound in
@@ -60,6 +65,10 @@ let solve ?(node_limit = 100_000) ?(lazy_cuts = fun _ -> []) ?(branch_priority =
   Heap.push heap neg_infinity { fixings = []; bound = neg_infinity };
   let nodes = ref 0 in
   let truncated = ref false in
+  (* set when a relaxation came back without a proven bound (budget ran out
+     mid-solve, or numerical distress): the search stays sound for
+     feasibility but can no longer certify optimality *)
+  let weakened = ref false in
   let fix_of fixings v = List.assoc_opt v fixings in
   let most_fractional values =
     let best = ref (-1) in
@@ -83,7 +92,7 @@ let solve ?(node_limit = 100_000) ?(lazy_cuts = fun _ -> []) ?(branch_priority =
   let debug = Sys.getenv_opt "MFDFT_ILP_DEBUG" <> None in
   let t_start = Sys.time () in
   let rec best_first () =
-    if !nodes >= node_limit then truncated := true
+    if !nodes >= node_limit || Mf_util.Budget.over budget then truncated := true
     else
       match Heap.pop heap with
       | None -> ()
@@ -93,14 +102,18 @@ let solve ?(node_limit = 100_000) ?(lazy_cuts = fun _ -> []) ?(branch_priority =
           if debug && !nodes mod 20 = 0 then
             Printf.eprintf "[ilp] nodes=%d rows=%d vars=%d incumbent=%g elapsed=%.1fs\n%!" !nodes
               (Lp.n_rows t.lp) (Lp.n_vars t.lp) !incumbent_obj (Sys.time () -. t_start);
-          match
-            (* numerical distress in one relaxation prunes that subtree
-               rather than aborting the whole search *)
-            (try Lp.solve ~fix:(fix_of node.fixings) t.lp with Failure _ -> Lp.Infeasible)
-          with
+          let rel = Lp.solve ?budget ~fix:(fix_of node.fixings) t.lp in
+          match rel with
           | Lp.Infeasible -> best_first ()
+          | Lp.Iter_limit | Lp.Numerical _ ->
+            (* distress in one relaxation prunes that subtree rather than
+               aborting the whole search; without a proven bound the prune
+               is heuristic, so optimality can no longer be certified *)
+            weakened := true;
+            best_first ()
           | Lp.Unbounded -> failwith "Ilp.solve: LP relaxation unbounded"
-          | Lp.Optimal { objective; values } ->
+          | Lp.Optimal { objective; values } | Lp.Feasible { objective; values } ->
+            (match rel with Lp.Feasible _ -> weakened := true | _ -> ());
             if objective >= !incumbent_obj -. 1e-9 then best_first ()
             else begin
               let branch_var = most_fractional values in
@@ -140,5 +153,5 @@ let solve ?(node_limit = 100_000) ?(lazy_cuts = fun _ -> []) ?(branch_priority =
   best_first ();
   t.nodes_explored <- !nodes;
   match !incumbent with
-  | Some sol -> if !truncated then Feasible sol else Optimal sol
-  | None -> if !truncated then Node_limit else Infeasible
+  | Some sol -> if !truncated || !weakened then Feasible sol else Optimal sol
+  | None -> if !truncated || !weakened then Node_limit else Infeasible

@@ -15,7 +15,10 @@ type solution = { objective : float; values : float array }
 
 type outcome =
   | Optimal of solution  (** proven optimal (within node budget semantics) *)
-  | Feasible of solution  (** incumbent found but search truncated by budget *)
+  | Feasible of solution
+      (** incumbent found but optimality unproven: the node or wall-clock
+          budget truncated the search, or a relaxation came back without a
+          certified bound *)
   | Infeasible
   | Node_limit  (** budget exhausted with no incumbent *)
 
@@ -37,6 +40,7 @@ val nodes_explored : t -> int
 
 val solve :
   ?node_limit:int ->
+  ?budget:Mf_util.Budget.t ->
   ?lazy_cuts:(solution -> lazy_cut list) ->
   ?branch_priority:(var -> int) ->
   ?upper_bound:float ->
@@ -46,7 +50,11 @@ val solve :
     [lazy_cuts] may return violated constraints; a non-empty return rejects
     the candidate, installs the cuts globally, and continues the search
     (the candidate's subtree is re-explored under the new cuts).
-    [node_limit] defaults to 100_000 LP relaxation solves.
+    [node_limit] defaults to 100_000 LP relaxation solves; [budget] adds a
+    wall-clock deadline polled once per node and threaded into each
+    relaxation solve — on exhaustion the best incumbent so far is returned
+    as [Feasible] (or [Node_limit] when none exists).  Never raises on
+    resource exhaustion.
     [branch_priority] groups binaries: among fractional variables, those
     with the smallest priority are branched on first (most-fractional
     within a group); default is one group.

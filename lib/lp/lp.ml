@@ -15,8 +15,11 @@ type t = {
 
 type result =
   | Optimal of { objective : float; values : float array }
+  | Feasible of { objective : float; values : float array }
+  | Iter_limit
   | Infeasible
   | Unbounded
+  | Numerical of string
 
 let create () = { lower = []; upper = []; obj = []; nv = 0; rows = []; nr = 0 }
 
@@ -43,7 +46,7 @@ let add_row t terms rel rhs =
 
 let n_rows t = t.nr
 
-let solve ?max_iters ?(fix = fun _ -> None) t =
+let solve ?max_iters ?budget ?(fix = fun _ -> None) t =
   let nv = t.nv in
   let rows = Array.of_list (List.rev t.rows) in
   let m = Array.length rows in
@@ -79,8 +82,12 @@ let solve ?max_iters ?(fix = fun _ -> None) t =
         a.(i).(!next_slack) <- -1.;
         incr next_slack)
     rows;
-  match Simplex.solve ?max_iters ~a ~b ~c ~lower ~upper () with
+  match Simplex.solve ?max_iters ?budget ~a ~b ~c ~lower ~upper () with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
+  | Simplex.Iter_limit -> Iter_limit
   | Simplex.Optimal { objective; values } ->
     Optimal { objective; values = Array.sub values 0 nv }
+  | Simplex.Feasible { objective; values } ->
+    Feasible { objective; values = Array.sub values 0 nv }
+  | exception Failure msg -> Numerical msg

@@ -12,8 +12,16 @@ type relation = Le | Ge | Eq
 type result =
   | Optimal of { objective : float; values : float array }
       (** [values] is indexed by {!var}. *)
+  | Feasible of { objective : float; values : float array }
+      (** primal-feasible but possibly suboptimal — the pivot or wall-clock
+          budget ran out during phase 2 *)
+  | Iter_limit
+      (** the budget ran out before any feasible point was found *)
   | Infeasible
   | Unbounded
+  | Numerical of string
+      (** the simplex hit a numerically singular pivot; the message is the
+          underlying diagnostic *)
 
 val create : unit -> t
 
@@ -32,9 +40,13 @@ val add_row : t -> (float * var) list -> relation -> float -> unit
 
 val n_rows : t -> int
 
-val solve : ?max_iters:int -> ?fix:(var -> float option) -> t -> result
+val solve :
+  ?max_iters:int -> ?budget:Mf_util.Budget.t -> ?fix:(var -> float option) -> t -> result
 (** Solve the LP (relaxation).  [fix v = Some x] clamps both bounds of [v]
     to [x] for this solve only — how branch-and-bound explores subproblems
     without rebuilding the model.  The builder is reusable: more rows and
     variables may be added after a solve and the model solved again, which
-    is how lazy loop-elimination constraints are injected. *)
+    is how lazy loop-elimination constraints are injected.  [budget] bounds
+    wall-clock time; see {!Simplex.solve}.  Never raises: resource
+    exhaustion surfaces as [Feasible]/[Iter_limit] and numerical breakdown
+    as [Numerical]. *)

@@ -1,5 +1,7 @@
 type result =
   | Optimal of { objective : float; values : float array }
+  | Feasible of { objective : float; values : float array }
+  | Iter_limit
   | Infeasible
   | Unbounded
 
@@ -162,20 +164,23 @@ let iterate st j =
     end
   end
 
-let optimize st ~c ~max_iters ~frozen =
+let optimize st ~c ~max_iters ~budget ~frozen =
   recompute_reduced st c;
   let iters = ref 0 in
   let bland_after = max 200 (4 * (st.m + st.n)) in
   let rec loop () =
-    if !iters > max_iters then failwith "Simplex: iteration limit exceeded";
-    let bland = !iters > bland_after in
-    let j = choose_entering st ~bland ~frozen in
-    if j < 0 then `Optimal
+    if !iters > max_iters then `Iter_limit
+    else if !iters land 127 = 0 && Mf_util.Budget.over budget then `Iter_limit
     else begin
-      incr iters;
-      match iterate st j with
-      | `Unbounded -> `Unbounded
-      | `Progress -> loop ()
+      let bland = !iters > bland_after in
+      let j = choose_entering st ~bland ~frozen in
+      if j < 0 then `Optimal
+      else begin
+        incr iters;
+        match iterate st j with
+        | `Unbounded -> `Unbounded
+        | `Progress -> loop ()
+      end
     end
   in
   loop ()
@@ -241,7 +246,7 @@ let expel_artificials st ~n_structural =
     end
   done
 
-let solve ?max_iters ~a ~b ~c ~lower ~upper () =
+let solve ?max_iters ?budget ~a ~b ~c ~lower ~upper () =
   let m = Array.length a in
   let n_structural = Array.length c in
   Array.iter (fun row ->
@@ -255,6 +260,9 @@ let solve ?max_iters ~a ~b ~c ~lower ~upper () =
   done;
   let n = n_structural + m in
   let max_iters = match max_iters with Some k -> k | None -> max 20_000 (200 * (m + n)) in
+  (* Fault injection: starve the pivot budget so callers exercise their
+     [Iter_limit] handling on real problems, not just mocks. *)
+  let max_iters = if Mf_util.Chaos.strike Simplex_iters then min max_iters 3 else max_iters in
   (* residual of each row with structural variables at their lower bounds *)
   let residual i =
     let row = a.(i) in
@@ -294,22 +302,30 @@ let solve ?max_iters ~a ~b ~c ~lower ~upper () =
   in
   (* Phase 1: minimise the sum of artificials. *)
   let phase1_cost = Array.init n (fun j -> if j >= n_structural then 1. else 0.) in
-  (match optimize st ~c:phase1_cost ~max_iters ~frozen:(fun _ -> false) with
-   | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
-   | `Optimal -> ());
-  if objective_of st phase1_cost > 1e-6 then Infeasible
-  else begin
-    expel_artificials st ~n_structural;
-    (* Phase 2: real objective; artificial columns are frozen out. *)
-    let phase2_cost = Array.init n (fun j -> if j < n_structural then c.(j) else 0.) in
-    let frozen j = j >= n_structural in
-    match optimize st ~c:phase2_cost ~max_iters ~frozen with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let values = values_of st n_structural in
-      let objective = ref 0. in
-      for j = 0 to n_structural - 1 do
-        objective := !objective +. (c.(j) *. values.(j))
-      done;
-      Optimal { objective = !objective; values }
-  end
+  match optimize st ~c:phase1_cost ~max_iters ~budget ~frozen:(fun _ -> false) with
+  | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
+  | `Iter_limit ->
+    (* no feasible point reached yet: nothing salvageable *)
+    Iter_limit
+  | `Optimal ->
+    if objective_of st phase1_cost > 1e-6 then Infeasible
+    else begin
+      expel_artificials st ~n_structural;
+      (* Phase 2: real objective; artificial columns are frozen out. *)
+      let phase2_cost = Array.init n (fun j -> if j < n_structural then c.(j) else 0.) in
+      let frozen j = j >= n_structural in
+      let outcome = optimize st ~c:phase2_cost ~max_iters ~budget ~frozen in
+      match outcome with
+      | `Unbounded -> Unbounded
+      | (`Optimal | `Iter_limit) as outcome ->
+        let values = values_of st n_structural in
+        let objective = ref 0. in
+        for j = 0 to n_structural - 1 do
+          objective := !objective +. (c.(j) *. values.(j))
+        done;
+        (* phase 2 maintains primal feasibility, so even a truncated run
+           yields a usable (suboptimal) point *)
+        (match outcome with
+         | `Optimal -> Optimal { objective = !objective; values }
+         | `Iter_limit -> Feasible { objective = !objective; values })
+    end

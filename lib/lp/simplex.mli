@@ -12,11 +12,18 @@
 
 type result =
   | Optimal of { objective : float; values : float array }
+  | Feasible of { objective : float; values : float array }
+      (** primal-feasible but possibly suboptimal: the phase-2 pivot budget
+          or wall-clock budget ran out before proving optimality *)
+  | Iter_limit
+      (** the pivot or wall-clock budget ran out in phase 1, before any
+          feasible point was found *)
   | Infeasible
   | Unbounded
 
 val solve :
   ?max_iters:int ->
+  ?budget:Mf_util.Budget.t ->
   a:float array array ->
   b:float array ->
   c:float array ->
@@ -28,5 +35,11 @@ val solve :
     and [lower <= x <= upper].  [a] is row-major, one inner array per
     constraint.  All rows must have the same width as [c], [lower] and
     [upper].  [upper.(j)] may be [infinity]; lower bounds must be finite.
-    [max_iters] bounds total pivots (default scales with problem size);
-    exceeding it raises [Failure]. *)
+
+    [max_iters] bounds total pivots per phase (default scales with problem
+    size); [budget] bounds wall-clock time (polled every 128 pivots).
+    Running out during phase 1 yields [Iter_limit]; during phase 2,
+    [Feasible] with the best point reached.  Neither raises.
+
+    Raises [Failure] only on a numerically singular pivot — an indication
+    of a degenerate input matrix, not of resource exhaustion. *)

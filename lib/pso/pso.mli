@@ -33,6 +33,7 @@ type outcome = {
 
 val run :
   ?params:params ->
+  ?budget:Mf_util.Budget.t ->
   rng:Mf_util.Rng.t ->
   dim:int ->
   fitness:(float array -> float) ->
@@ -41,10 +42,22 @@ val run :
 (** Search the box [\[0,1\]^dim].  [fitness] is called on decoded-by-caller
     positions; it must be deterministic for reproducibility.  If every
     evaluation returns [infinity] the outcome's [best_fitness] is
-    [infinity] and [best_position] is the last particle examined. *)
+    [infinity] and [best_position] is the last particle examined.
+    When [budget] expires the loop stops before the next iteration and the
+    best-so-far outcome is returned (shorter [trace]). *)
+
+type batch_state
+(** Opaque snapshot of an in-flight {!run_batch} search: swarm positions,
+    velocities, personal/global bests, trace, evaluation count and the rng
+    state {e after} the snapshot iteration's draws.  Contains only plain
+    data (no closures), so it may be persisted with [Marshal] and reloaded
+    by a binary built from the same sources. *)
 
 val run_batch :
   ?params:params ->
+  ?budget:Mf_util.Budget.t ->
+  ?checkpoint:(int -> batch_state -> unit) ->
+  ?resume:batch_state ->
   rng:Mf_util.Rng.t ->
   dim:int ->
   batch_fitness:(float array array -> float array) ->
@@ -61,4 +74,13 @@ val run_batch :
     Unlike {!run}, later particles of an iteration do not see a global best
     improved earlier in the same iteration (the classic synchronous PSO
     trade-off that makes the batch independent); [evaluations] is still
-    [particles * (1 + iterations)]. *)
+    [particles * (1 + iterations)].
+
+    Resilience hooks: [budget] stops the loop between iterations, returning
+    the best-so-far outcome.  [checkpoint it state] fires after each
+    completed iteration [it] (1-based) with a fully-copied snapshot; a
+    subsequent call passing that snapshot as [resume] (with identical
+    [params], [dim] and [batch_fitness]) skips the completed iterations,
+    overwrites [rng] with the snapshot state, and produces an outcome
+    bit-identical to the uninterrupted run.  Exceptions raised by the hook
+    propagate to the caller. *)

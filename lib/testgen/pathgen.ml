@@ -14,6 +14,7 @@ type config = {
   n_paths : int;
   ilp_nodes : int;
   loop_cuts : int;
+  degraded : bool;
 }
 
 let farthest_ports chip =
@@ -328,7 +329,7 @@ let heuristic_cover chip ~weights ~s_node ~t_node =
   List.fold_left better None candidates
 
 let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(node_limit = 1_200)
-    chip =
+    ?budget chip =
   let auto_src, auto_dst = farthest_ports chip in
   let src_port = Option.value ~default:auto_src src_port in
   let dst_port = Option.value ~default:auto_dst dst_port in
@@ -358,13 +359,17 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
           n_paths = List.length paths;
           ilp_nodes = !total_nodes;
           loop_cuts = !total_cuts;
+          degraded = true;
         }
   in
   let rec attempt k =
-    if k > max_paths || !total_nodes >= node_limit then begin
+    if k > max_paths || !total_nodes >= node_limit || Mf_util.Budget.over budget then begin
       match heuristic_config k with
       | Some config -> Ok config
-      | None -> Error (Printf.sprintf "no DFT configuration with at most %d test paths" max_paths)
+      | None ->
+        Error
+          (Mf_util.Fail.v ~nodes:!total_nodes Mf_util.Fail.Pathgen
+             (Printf.sprintf "no DFT configuration with at most %d test paths" max_paths))
     end
     else begin
       let model = build_model chip ~weights ~k ~s_node ~t_node in
@@ -386,7 +391,7 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
          on; the budget grows with k where solutions are usually found *)
       let attempt_budget = min (node_limit - !total_nodes) (300 * (1 lsl (k - 2))) in
       let outcome =
-        Ilp.solve ~node_limit:(max 100 attempt_budget) ~lazy_cuts ~branch_priority
+        Ilp.solve ~node_limit:(max 100 attempt_budget) ?budget ~lazy_cuts ~branch_priority
           ~upper_bound:(heuristic_cost +. 1e-6) model.ilp
       in
       total_cuts := !total_cuts + !n_cuts;
@@ -409,6 +414,7 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
             n_paths = k;
             ilp_nodes = !total_nodes;
             loop_cuts = !total_cuts;
+            degraded = false;
           }
       | Ilp.Infeasible | Ilp.Node_limit -> attempt (k + 1)
     end

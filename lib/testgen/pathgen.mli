@@ -15,6 +15,9 @@ type config = {
   n_paths : int;
   ilp_nodes : int;  (** LP relaxations solved, for the ablation bench *)
   loop_cuts : int;  (** lazy loop-elimination constraints added *)
+  degraded : bool;
+      (** [true] when the configuration came from the greedy heuristic
+          fallback (ILP budget exhausted) rather than the ILP itself *)
 }
 
 val farthest_ports : Mf_arch.Chip.t -> int * int
@@ -28,13 +31,20 @@ val generate :
   ?dst_port:int ->
   ?max_paths:int ->
   ?node_limit:int ->
+  ?budget:Mf_util.Budget.t ->
   Mf_arch.Chip.t ->
-  (config, string) result
+  (config, Mf_util.Fail.t) result
 (** Solve the DFT path formulation, growing the path count from 2 until
     feasible (Sec. 3).  [weights] biases objective (5) per free edge
     (default all 1) — the hook the outer PSO uses to explore alternative
     optimal configurations; weights must be >= some positive value.
-    [max_paths] defaults to 8. *)
+    [max_paths] defaults to 8.
+
+    Degradation ladder: when [node_limit] (cumulative LP relaxations across
+    the escalating per-[k] attempts) or [budget] runs out, the
+    multi-restart greedy cover is returned with [degraded = true] —
+    [node_limit:0] forces it outright.  [Error] only when even the
+    heuristic cannot cover the chip within [max_paths] paths. *)
 
 val apply : Mf_arch.Chip.t -> config -> Mf_arch.Chip.t
 (** Augment the chip with the configuration's added edges. *)

@@ -1,0 +1,28 @@
+type t = {
+  deadline : float; (* absolute [Unix.gettimeofday] seconds; [infinity] = none *)
+  cancelled : bool Atomic.t;
+}
+
+let unlimited () = { deadline = infinity; cancelled = Atomic.make false }
+
+let of_seconds s =
+  if s < 0. then invalid_arg "Budget.of_seconds: negative budget";
+  { deadline = Unix.gettimeofday () +. s; cancelled = Atomic.make false }
+
+let cancel b = Atomic.set b.cancelled true
+
+let cancelled b = Atomic.get b.cancelled
+
+let exhausted b = Atomic.get b.cancelled || Unix.gettimeofday () >= b.deadline
+
+let over = function None -> false | Some b -> exhausted b
+
+let remaining b =
+  if Atomic.get b.cancelled then 0.
+  else if b.deadline = infinity then infinity
+  else max 0. (b.deadline -. Unix.gettimeofday ())
+
+let pp ppf b =
+  if Atomic.get b.cancelled then Format.fprintf ppf "cancelled"
+  else if b.deadline = infinity then Format.fprintf ppf "unlimited"
+  else Format.fprintf ppf "%.1fs remaining" (remaining b)

@@ -1,0 +1,41 @@
+(** Wall-clock deadlines with cooperative cancellation.
+
+    A budget is an absolute deadline plus a cancellation token.  Long-running
+    loops (simplex pivots, ILP nodes, PSO iterations, pool construction)
+    poll {!exhausted} at safe points and wind down gracefully, returning
+    their best feasible result instead of raising.  The token is an
+    [Atomic.t], so a budget created on the coordinating domain may be polled
+    from worker domains without synchronisation.
+
+    Time base is [Unix.gettimeofday]; deadlines are coarse (fractions of a
+    second) by design — they bound stages that run for seconds to minutes.
+    Runs with a finite budget trade the bit-for-bit determinism contract for
+    bounded latency: which iteration the deadline lands on depends on the
+    machine.  Runs without a budget (the default everywhere) are untouched. *)
+
+type t
+
+val unlimited : unit -> t
+(** A fresh budget with no deadline.  Still cancellable. *)
+
+val of_seconds : float -> t
+(** [of_seconds s] expires [s] seconds from now.
+    Raises [Invalid_argument] if [s < 0]. *)
+
+val cancel : t -> unit
+(** Trip the cancellation token; {!exhausted} is true from then on.  Safe
+    from any domain or signal handler. *)
+
+val cancelled : t -> bool
+
+val exhausted : t -> bool
+(** True once the deadline has passed or {!cancel} was called. *)
+
+val over : t option -> bool
+(** [over budget] is [false] for [None] — the idiom for APIs whose budget
+    parameter is optional. *)
+
+val remaining : t -> float
+(** Seconds left ([infinity] when unlimited, [0.] once exhausted). *)
+
+val pp : Format.formatter -> t -> unit

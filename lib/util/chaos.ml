@@ -1,0 +1,93 @@
+type site = Simplex_iters | Ilp_nodes | Worker_delay
+
+let n_sites = 3
+
+let site_index = function
+  | Simplex_iters -> 0
+  | Ilp_nodes -> 1
+  | Worker_delay -> 2
+
+let site_name = function
+  | Simplex_iters -> "simplex-iters"
+  | Ilp_nodes -> "ilp-nodes"
+  | Worker_delay -> "worker-delay"
+
+let all_sites = [ Simplex_iters; Ilp_nodes; Worker_delay ]
+
+type config = { rate : float; seed : int }
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  lock : Mutex.t;
+  counts : int array; (* strikes recorded per site, indexed by [site_index] *)
+}
+
+let of_config cfg =
+  {
+    cfg = { cfg with rate = Float.min 1. (Float.max 0. cfg.rate) };
+    rng = Rng.create ~seed:cfg.seed;
+    lock = Mutex.create ();
+    counts = Array.make n_sites 0;
+  }
+
+let default_seed = 0xC4A05
+
+let from_env () =
+  match Sys.getenv_opt "MFDFT_CHAOS" with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some rate when rate > 0. ->
+          let seed =
+            match Option.bind (Sys.getenv_opt "MFDFT_CHAOS_SEED") int_of_string_opt with
+            | Some seed -> seed
+            | None -> default_seed
+          in
+          Some { rate; seed }
+      | _ -> None)
+
+(* Initialised eagerly at program start so worker domains never race an
+   env lookup.  [set] is only meant to be called while no worker domain is
+   running (test setup, CLI argument handling). *)
+let state = ref (Option.map of_config (from_env ()))
+
+let set cfg = state := Option.map of_config cfg
+
+let neutralise () = state := None
+
+let active () = Option.is_some !state
+
+let rate () = match !state with None -> 0. | Some st -> st.cfg.rate
+
+let strike site =
+  match !state with
+  | None -> false
+  | Some st ->
+      Mutex.lock st.lock;
+      let hit = Rng.uniform st.rng < st.cfg.rate in
+      if hit then begin
+        let i = site_index site in
+        st.counts.(i) <- st.counts.(i) + 1
+      end;
+      Mutex.unlock st.lock;
+      hit
+
+let delay () = if strike Worker_delay then Unix.sleepf 0.0015
+
+let strikes () =
+  match !state with
+  | None -> []
+  | Some st ->
+      Mutex.lock st.lock;
+      let out = List.map (fun s -> (s, st.counts.(site_index s))) all_sites in
+      Mutex.unlock st.lock;
+      out
+
+let reset_counts () =
+  match !state with
+  | None -> ()
+  | Some st ->
+      Mutex.lock st.lock;
+      Array.fill st.counts 0 n_sites 0;
+      Mutex.unlock st.lock

@@ -1,0 +1,58 @@
+(** Software fault-injection harness.
+
+    When enabled, solver stages consult {!strike} at their entry points and
+    deliberately cripple themselves — the simplex clamps its iteration
+    budget, the ILP truncates its node budget, worker domains nap — so the
+    degradation paths of the pipeline are exercised for real rather than
+    only in unit mocks.
+
+    Enable by exporting [MFDFT_CHAOS=<rate>] (a fault probability in
+    [(0, 1]]; the state is read once at program start) or programmatically
+    with {!set}.  [MFDFT_CHAOS_SEED] fixes the injection RNG seed.
+
+    Chaos draws come from one global generator shared across domains, so
+    under [jobs > 1] the injection pattern depends on scheduling: chaos runs
+    deliberately break the bit-for-bit determinism contract.  Test binaries
+    that assert exact values call {!neutralise} at startup; the resilience
+    suite enables chaos on purpose and asserts only validity, never exact
+    objectives. *)
+
+type site =
+  | Simplex_iters  (** clamp the simplex pivot budget to force [Iter_limit] *)
+  | Ilp_nodes  (** truncate the branch-and-bound node budget *)
+  | Worker_delay  (** sleep briefly inside a worker-domain task *)
+
+type config = { rate : float; seed : int }
+
+val default_seed : int
+(** Seed used when [MFDFT_CHAOS_SEED] is not set. *)
+
+val set : config option -> unit
+(** Override the harness state ([None] disables).  Call only while no
+    worker domain is running. *)
+
+val neutralise : unit -> unit
+(** Disable injection regardless of [MFDFT_CHAOS] — for test binaries whose
+    assertions require the deterministic, fault-free pipeline. *)
+
+val active : unit -> bool
+
+val rate : unit -> float
+(** Configured fault probability; [0.] when inactive. *)
+
+val strike : site -> bool
+(** [strike site] draws once: [true] with the configured probability (and
+    records the hit against [site]), always [false] when inactive.
+    Thread-safe. *)
+
+val delay : unit -> unit
+(** Worker-domain injection point: sleeps ~1.5 ms when a
+    [Worker_delay] strike fires, otherwise returns immediately. *)
+
+val strikes : unit -> (site * int) list
+(** Strike counters per site since start / last {!reset_counts} (empty when
+    inactive) — for bench reporting. *)
+
+val reset_counts : unit -> unit
+
+val site_name : site -> string

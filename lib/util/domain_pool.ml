@@ -75,6 +75,7 @@ let map pool f xs =
     let task i =
       Task
         (fun () ->
+          Chaos.delay ();
           (match f xs.(i) with
            | r -> results.(i) <- Some r
            | exception e -> errors.(i) <- Some e);
@@ -111,6 +112,14 @@ let map pool f xs =
   end
 
 let map_reduce pool ~map:f ~fold ~init xs = Array.fold_left fold init (map pool f xs)
+
+let map_bounded pool ?budget ~fallback f xs =
+  match budget with
+  | None -> map pool f xs
+  | Some b ->
+    (* tasks that start after the deadline degrade to the cheap fallback,
+       so a late deadline drains the queue quickly instead of hanging *)
+    map pool (fun x -> if Budget.exhausted b then fallback x else f x) xs
 
 let default_jobs () =
   match Sys.getenv_opt "MFDFT_JOBS" with

@@ -37,6 +37,14 @@ val map_reduce : t -> map:('a -> 'b) -> fold:('c -> 'b -> 'c) -> init:'c -> 'a a
     deterministic-by-construction reduction (no requirements on [fold]'s
     associativity or commutativity). *)
 
+val map_bounded :
+  t -> ?budget:Budget.t -> fallback:('a -> 'b) -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map}, except that a task starting after [budget] is exhausted applies
+    the (cheap, non-blocking) [fallback] instead of [f] — so a fan-out hit
+    by its deadline still returns a full, order-preserving result array
+    quickly.  Which elements degrade depends on scheduling; with no
+    [budget] this is exactly [map]. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent.  The pool must be idle. *)
 

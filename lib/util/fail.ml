@@ -1,0 +1,40 @@
+type stage =
+  | Parse
+  | Simplex
+  | Lp
+  | Ilp
+  | Pathgen
+  | Pool
+  | Pso
+  | Codesign
+
+type t = {
+  stage : stage;
+  reason : string;
+  elapsed : float;
+  nodes : int;
+  incumbent : string option;
+}
+
+let v ?(elapsed = 0.) ?(nodes = 0) ?incumbent stage reason =
+  { stage; reason; elapsed; nodes; incumbent }
+
+let stage_name = function
+  | Parse -> "parse"
+  | Simplex -> "simplex"
+  | Lp -> "lp"
+  | Ilp -> "ilp"
+  | Pathgen -> "pathgen"
+  | Pool -> "pool"
+  | Pso -> "pso"
+  | Codesign -> "codesign"
+
+let pp ppf f =
+  Format.fprintf ppf "[%s] %s" (stage_name f.stage) f.reason;
+  if f.nodes > 0 then Format.fprintf ppf " (%d solver nodes)" f.nodes;
+  if f.elapsed > 0. then Format.fprintf ppf " after %.1fs" f.elapsed;
+  match f.incumbent with
+  | None -> ()
+  | Some inc -> Format.fprintf ppf "; best incumbent: %s" inc
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,37 @@
+(** Structured pipeline failures.
+
+    Every stage of the solver pipeline ([Simplex] up through [Codesign])
+    reports hard failure as a value of this type instead of raising or
+    returning a bare string, so callers — ultimately [dft_tool] — can tell
+    {e which} stage gave up, how much budget it consumed, and what the best
+    incumbent was at that point. *)
+
+type stage =
+  | Parse
+  | Simplex
+  | Lp
+  | Ilp
+  | Pathgen
+  | Pool
+  | Pso
+  | Codesign
+
+type t = {
+  stage : stage;  (** stage that gave up *)
+  reason : string;  (** human-readable cause, one line *)
+  elapsed : float;  (** wall-clock seconds consumed, [0.] when unknown *)
+  nodes : int;  (** solver nodes consumed, [0] when not applicable *)
+  incumbent : string option;
+      (** rendering of the best feasible result found before failing *)
+}
+
+val v : ?elapsed:float -> ?nodes:int -> ?incumbent:string -> stage -> string -> t
+(** [v stage reason] builds a failure; optional fields default to "unknown". *)
+
+val stage_name : stage -> string
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: ["[stage] reason (N solver nodes) after Xs; best
+    incumbent: ..."] with absent fields omitted. *)
+
+val to_string : t -> string

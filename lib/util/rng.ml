@@ -36,6 +36,12 @@ let split rng =
 
 let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }
 
+let blit ~src ~dst =
+  dst.s0 <- src.s0;
+  dst.s1 <- src.s1;
+  dst.s2 <- src.s2;
+  dst.s3 <- src.s3
+
 let int rng bound =
   assert (bound > 0);
   (* mask to OCaml's 62 positive bits: a plain [to_int] of a 63-bit value

@@ -20,6 +20,11 @@ val split : t -> t
 val copy : t -> t
 (** [copy rng] duplicates the current state (same future sequence). *)
 
+val blit : src:t -> dst:t -> unit
+(** [blit ~src ~dst] overwrites [dst]'s state with [src]'s, so [dst]
+    continues [src]'s sequence.  Used to restore a generator in place when
+    resuming from a checkpoint. *)
+
 val int : t -> int -> int
 (** [int rng bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
 

@@ -73,7 +73,7 @@ let test_trees_connect_taps_to_port () =
 let test_sharing_reduces_ports () =
   let chip = Option.get (Benchmarks.by_name "ivd_chip") in
   match Mf_testgen.Pathgen.generate ~node_limit:300 chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Mf_testgen.Pathgen.apply chip config in
     let dfts =
@@ -105,6 +105,8 @@ let test_ports_on_boundary () =
     layout.Control.routes
 
 let () =
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_control"
     [
       ( "control",

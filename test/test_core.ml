@@ -16,7 +16,7 @@ let ivd_pool =
      let rng = Rng.create ~seed:11 in
      match Pool.build ~size:3 ~node_limit:500 ~rng chip with
      | Ok pool -> (chip, pool)
-     | Error m -> Alcotest.fail m)
+     | Error f -> Alcotest.fail (Mf_util.Fail.to_string f))
 
 let test_pool_entries_valid () =
   let _, pool = Lazy.force ivd_pool in
@@ -95,7 +95,7 @@ let test_codesign_smallest () =
     }
   in
   match Codesign.run ~params chip app with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok r ->
     check Alcotest.bool "original schedules" true (r.Codesign.exec_original <> None);
     check Alcotest.bool "unshared dft schedules" true (r.Codesign.exec_dft_unshared <> None);
@@ -128,7 +128,7 @@ let test_codesign_deterministic () =
   let run () =
     match Codesign.run ~params chip app with
     | Ok r -> (r.Codesign.exec_final, r.Codesign.n_dft_valves, r.Codesign.trace)
-    | Error m -> Alcotest.fail m
+    | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   in
   let a = run () and b = run () in
   check Alcotest.bool "deterministic" true (a = b)
@@ -146,7 +146,7 @@ let test_report () =
     }
   in
   match Codesign.run ~params chip app with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok r ->
     let md = Mfdft.Report.markdown r in
     let contains needle =
@@ -162,6 +162,8 @@ let test_report () =
     check Alcotest.bool "control layer line" true (contains "Control layer")
 
 let () =
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mfdft"
     [
       ( "pool",

@@ -188,7 +188,7 @@ let test_exhaustive_benchmark_coverage () =
   let config =
     match Mf_testgen.Pathgen.generate ~node_limit:500 chip with
     | Ok c -> c
-    | Error m -> Alcotest.fail m
+    | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   in
   let aug = Mf_testgen.Pathgen.apply chip config in
   let cuts =
@@ -217,6 +217,8 @@ let test_exhaustive_benchmark_coverage () =
     (sa0 @ sa1)
 
 let () =
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_faults"
     [
       ( "pressure",

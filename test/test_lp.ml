@@ -8,6 +8,8 @@ let feps = Alcotest.float 1e-6
 let solve_exn lp =
   match Lp.solve lp with
   | Lp.Optimal { objective; values } -> (objective, values)
+  | Lp.Feasible _ | Lp.Iter_limit -> Alcotest.fail "unexpected budget exhaustion"
+  | Lp.Numerical m -> Alcotest.fail ("unexpected numerical failure: " ^ m)
   | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
 
@@ -81,7 +83,8 @@ let test_fixing () =
    | Lp.Optimal { objective; values } ->
      check feps "x fixed" 0. values.(x);
      check feps "obj with fixing" (-1.) objective
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimal");
+   | Lp.Infeasible | Lp.Unbounded | Lp.Feasible _ | Lp.Iter_limit | Lp.Numerical _ ->
+     Alcotest.fail "expected optimal");
   (* without fixing the model is untouched *)
   let obj, _ = solve_exn lp in
   check feps "obj without fixing" (-2.) obj
@@ -148,7 +151,7 @@ let random_lp_prop =
       let witness_obj = ref 0. in
       Array.iteri (fun j c -> witness_obj := !witness_obj +. (c *. witness.(j))) cost;
       match Lp.solve lp with
-      | Lp.Infeasible | Lp.Unbounded -> false
+      | Lp.Infeasible | Lp.Unbounded | Lp.Feasible _ | Lp.Iter_limit | Lp.Numerical _ -> false
       | Lp.Optimal { objective; values } ->
         objective <= !witness_obj +. 1e-6
         && Array.for_all (fun x -> x >= -1e-6 && x <= 10. +. 1e-6) values
@@ -161,6 +164,8 @@ let random_lp_prop =
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_lp"
     [
       ( "simplex",

@@ -170,6 +170,8 @@ let fault_universe_prop =
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_props"
     [
       ( "cross-module properties",

@@ -92,6 +92,8 @@ let test_dim_guard () =
       ignore (Pso.run ~rng ~dim:0 ~fitness:sphere ()))
 
 let () =
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_pso"
     [
       ( "pso",

@@ -133,7 +133,7 @@ let test_sharing_can_hurt () =
      schedule must never get FASTER than the unshared augmented chip *)
   let chip = ivd_chip () in
   match Mf_testgen.Pathgen.generate ~node_limit:300 chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Mf_testgen.Pathgen.apply chip config in
     let app = Assays.ivd () in
@@ -247,6 +247,8 @@ let test_horizon () =
   | Ok _ -> Alcotest.fail "expected timeout"
 
 let () =
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_sched"
     [
       ( "scheduler",

@@ -103,6 +103,8 @@ let pocket_prop =
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_synth"
     [
       ( "generator",

@@ -51,7 +51,7 @@ let walk_is_path chip ~src path =
 let test_pathgen_fig4 () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     check Alcotest.bool "some edges added" true (config.Pathgen.added_edges <> []);
     let aug = Pathgen.apply chip config in
@@ -70,7 +70,7 @@ let test_pathgen_fig4 () =
 let test_pathgen_paths_end_at_meter () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let g = Grid.graph (Chip.grid aug) in
@@ -85,7 +85,7 @@ let test_pathgen_paths_end_at_meter () =
 let test_cutgen_fig4 () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let result = Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port in
@@ -107,7 +107,7 @@ let test_cutgen_fig4 () =
 let test_full_suite_complete () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let cuts = Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port in
@@ -119,7 +119,7 @@ let test_full_suite_complete () =
 let test_fallback_cuts () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let fallback =
@@ -157,7 +157,7 @@ let test_dft_fixes_untestable () =
   check Alcotest.bool "pre-DFT has untestable faults" true
     (pre.Multiport.sa0_untestable <> [] || pre.Multiport.sa1_untestable <> []);
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let cuts = Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port in
@@ -174,7 +174,7 @@ let test_multiport_fewer_vectors_than_dft () =
         original.Multiport.n_path_vectors + original.Multiport.n_cut_vectors
       in
       match Pathgen.generate ~node_limit:400 chip with
-      | Error m -> Alcotest.fail m
+      | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
       | Ok config ->
         let aug = Pathgen.apply chip config in
         let cuts =
@@ -190,7 +190,7 @@ let test_multiport_fewer_vectors_than_dft () =
 let test_repair_adds_vectors () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
   | Ok config ->
     let aug = Pathgen.apply chip config in
     let cuts = Cutgen.generate aug ~source:config.Pathgen.src_port ~meter:config.Pathgen.dst_port in
@@ -215,6 +215,8 @@ let test_generate_rejects_same_port () =
      with Invalid_argument _ -> true)
 
 let () =
+  (* exact-value assertions require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
   Alcotest.run "mf_testgen"
     [
       ( "pathgen",
@@ -247,7 +249,7 @@ let () =
               let chip = fig4_chip () in
               let layout = Mf_control.Control.synthesize chip in
               match Pathgen.generate chip with
-              | Error m -> Alcotest.fail m
+              | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
               | Ok config ->
                 let aug = Pathgen.apply chip config in
                 let aug_layout = Mf_control.Control.synthesize aug in
