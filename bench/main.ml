@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
      dune exec bench/main.exe -- ablate       -- design-choice ablations
      dune exec bench/main.exe -- chaos        -- codesign matrix under fault injection
+     dune exec bench/main.exe -- verify       -- static-verification overhead vs generation
 
    Absolute times differ from the paper (different workload realisations and
    a simulated substrate); the comparisons that matter are the shapes:
@@ -387,6 +388,56 @@ let chaos_bench () =
   Mf_util.Chaos.set None
 
 (* ------------------------------------------------------------------ *)
+(* verification overhead: what the independent checker costs relative to
+   generating the suite it checks *)
+
+let verify_bench () =
+  Format.printf "@.== Verification overhead (lint + certificate re-proof vs generation) ==@.@.";
+  Format.printf "%-12s %12s %12s %12s %9s@." "chip" "generate(ms)" "lint(ms)" "verify(ms)"
+    "overhead";
+  List.iter
+    (fun name ->
+      let chip = Option.get (Benchmarks.by_name name) in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, (Unix.gettimeofday () -. t0) *. 1e3)
+      in
+      let (aug, suite), t_gen =
+        time (fun () ->
+            match Mf_testgen.Pathgen.generate ~node_limit:300 chip with
+            | Error f -> failwith (Mf_util.Fail.to_string f)
+            | Ok config ->
+              let aug = Mf_testgen.Pathgen.apply chip config in
+              let cuts =
+                Mf_testgen.Cutgen.generate aug ~source:config.Mf_testgen.Pathgen.src_port
+                  ~meter:config.Mf_testgen.Pathgen.dst_port
+              in
+              (aug, Mf_testgen.Vectors.of_config config cuts))
+      in
+      let report = Mf_testgen.Vectors.validate aug suite in
+      let cert =
+        Mf_verify.Cert.make ~chip_name:(Chip.name aug)
+          ~suite:
+            {
+              Mf_verify.Cert.source_port = suite.Mf_testgen.Vectors.source_port;
+              meter_port = suite.Mf_testgen.Vectors.meter_port;
+              path_edges = suite.Mf_testgen.Vectors.path_edges;
+              cut_valves = suite.Mf_testgen.Vectors.cut_valves;
+            }
+          ~claimed_vectors:(Mf_testgen.Vectors.count suite)
+          ~claimed_coverage:
+            (report.Mf_faults.Coverage.detected, report.Mf_faults.Coverage.total_faults)
+      in
+      let lint, t_lint = time (fun () -> Mf_verify.Lint.chip aug) in
+      let diags, t_verify = time (fun () -> Mf_verify.Verify.certificate aug cert) in
+      if Mf_util.Diag.has_errors (lint @ diags) then
+        failwith (name ^ ": verification found errors on a clean suite");
+      Format.printf "%-12s %12.1f %12.2f %12.2f %8.1f%%@." name t_gen t_lint t_verify
+        ((t_lint +. t_verify) /. t_gen *. 100.))
+    Benchmarks.names
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
 
 let micro () =
@@ -478,4 +529,5 @@ let () =
   if wants "ablate" then print_ablations ();
   (* chaos is opt-in only: it deliberately breaks determinism *)
   if List.mem "chaos" args then chaos_bench ();
+  if List.mem "verify" args || List.mem "all" args then verify_bench ();
   if List.mem "micro" args || List.mem "all" args then micro ()

@@ -13,15 +13,27 @@ module Vectors = Mf_testgen.Vectors
 module Scheduler = Mf_sched.Scheduler
 module Codesign = Mfdft.Codesign
 
+(* File inputs load tolerantly: parse warnings (unknown directives,
+   duplicate headers) go to stderr instead of rejecting the file. *)
+let warn_diags diags =
+  List.iter (fun d -> Format.eprintf "%a@." Mf_util.Diag.pp d) diags
+
+let diags_msg file diags =
+  `Msg
+    (Format.asprintf "%s: %a" file Mf_util.Diag.pp
+       (match Mf_util.Diag.errors diags with d :: _ -> d | [] -> List.hd diags))
+
 let chip_conv =
   let parse s =
     match Benchmarks.by_name s with
     | Some chip -> Ok chip
     | None ->
       if Sys.file_exists s then
-        match Mf_arch.Chip_io.load s with
-        | Ok chip -> Ok chip
-        | Error m -> Error (`Msg (Printf.sprintf "%s: %s" s m))
+        match Mf_arch.Chip_io.load_diags s with
+        | Ok (chip, warnings) ->
+          warn_diags warnings;
+          Ok chip
+        | Error diags -> Error (diags_msg s diags)
       else
         Error
           (`Msg
@@ -36,9 +48,11 @@ let assay_conv =
     | Some app -> Ok (s, app)
     | None ->
       if Sys.file_exists s then
-        match Mf_bioassay.Assay_io.load s with
-        | Ok app -> Ok (Filename.remove_extension (Filename.basename s), app)
-        | Error m -> Error (`Msg (Printf.sprintf "%s: %s" s m))
+        match Mf_bioassay.Assay_io.load_diags s with
+        | Ok (app, warnings) ->
+          warn_diags warnings;
+          Ok (Filename.remove_extension (Filename.basename s), app)
+        | Error diags -> Error (diags_msg s diags)
       else
         Error
           (`Msg
@@ -54,6 +68,53 @@ let assay_arg =
   Arg.(required & opt (some assay_conv) None & info [ "assay" ] ~docv:"ASSAY" ~doc:"Bioassay (ivd, pid, cpa).")
 
 (* ------------------------------------------------------------------ *)
+
+(* Shared flags and output for the static-verification commands. *)
+
+let strict_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "strict" ]
+        ~doc:"Exit non-zero on warnings too, not only on errors (CI gating).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array, one per line.")
+
+let emit_diags ~json ~strict diags =
+  if json then print_string (Mf_util.Diag.json_list diags)
+  else Format.printf "%a@." Mf_util.Diag.pp_list diags;
+  exit (Mf_util.Diag.exit_code ~strict diags)
+
+let lint_cmd =
+  let run chip strict json = emit_diags ~json ~strict (Mf_verify.Lint.chip chip) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check a chip netlist (dangling channels, unwired ports, valve placement, \
+          reachability, DFT consistency, control-line numbering; codes MF0xx).")
+    Term.(const run $ chip_arg $ strict_arg $ json_arg)
+
+let verify_cmd =
+  let run chip cert_path strict json =
+    match Mf_verify.Cert.load cert_path with
+    | Error diags -> emit_diags ~json ~strict diags
+    | Ok cert ->
+      emit_diags ~json ~strict (Mf_verify.Verify.certificate chip cert)
+  in
+  let cert_path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "cert" ] ~docv:"FILE" ~doc:"Certificate file written by codesign --cert.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-prove a DFT test certificate against a chip with graph reachability and an \
+          independent fault simulation — no ILP/LP/PSO involvement (codes MF1xx/MF2xx, plus \
+          the MF0xx lints).")
+    Term.(const run $ chip_arg $ cert_path $ strict_arg $ json_arg)
 
 let list_cmd =
   let run () =
@@ -147,7 +208,7 @@ let schedule_cmd =
 
 let codesign_cmd =
   let run chip (assay_name, app) full seed jobs report deadline ckpt_path ckpt_every resume
-      stop_after chaos =
+      stop_after chaos cert_prefix =
     (match chaos with
      | None -> ()
      | Some rate ->
@@ -190,11 +251,27 @@ let codesign_cmd =
        | ds ->
          Format.printf "degraded result (still valid):@.";
          List.iter (fun d -> Format.printf "  - %s@." (Codesign.degradation_to_string d)) ds);
-      match report with
-      | None -> ()
-      | Some path ->
-        Mfdft.Report.save path r;
-        Format.printf "report written to %s@." path
+      (* automatic post-codesign verification: the independent checker must
+         accept the result (degraded or not) before we hand it out *)
+      let diags = Codesign.verify r in
+      let n_err, n_warn = Mf_util.Diag.count diags in
+      Format.printf "verification (independent re-proof): %d error(s), %d warning(s)@." n_err
+        n_warn;
+      List.iter (fun d -> Format.printf "  %a@." Mf_util.Diag.pp d) diags;
+      (match cert_prefix with
+       | None -> ()
+       | Some prefix ->
+         let chip_path = prefix ^ ".chip" and cert_path = prefix ^ ".cert" in
+         Mf_arch.Chip_io.save chip_path r.Codesign.shared;
+         Mf_verify.Cert.save cert_path (Codesign.certificate r);
+         Format.printf "certificate written: %s + %s (re-check with: mfdft verify --chip %s --cert %s)@."
+           chip_path cert_path chip_path cert_path);
+      (match report with
+       | None -> ()
+       | Some path ->
+         Mfdft.Report.save path r;
+         Format.printf "report written to %s@." path);
+      if n_err > 0 then exit 2
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale PSO budgets (100 iterations).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PSO random seed.") in
@@ -250,11 +327,20 @@ let codesign_cmd =
             "Software fault injection: make each solver call fail with probability $(docv) \
              (same as MFDFT_CHAOS). Exercises the degradation paths.")
   in
+  let cert_prefix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"PREFIX"
+          ~doc:
+            "Write the result as $(docv).chip (the shared architecture) plus $(docv).cert \
+             (its test certificate), re-checkable offline with $(b,mfdft verify).")
+  in
   Cmd.v
     (Cmd.info "codesign" ~doc:"Run the full DFT + valve-sharing codesign flow (Sec. 4.2).")
     Term.(
       const run $ chip_arg $ assay_arg $ full $ seed $ jobs $ report $ deadline_arg $ ckpt_path
-      $ ckpt_every $ resume $ stop_after $ chaos)
+      $ ckpt_every $ resume $ stop_after $ chaos $ cert_prefix)
 
 let export_cmd =
   let run chip assay_opt out_dir =
@@ -296,7 +382,9 @@ let () =
       ~doc:"Design-for-testability for continuous-flow microfluidic biochips (DAC 2018 reproduction)."
   in
   let group =
-    Cmd.group info [ list_cmd; render_cmd; testgen_cmd; schedule_cmd; codesign_cmd; export_cmd ]
+    Cmd.group info
+      [ list_cmd; render_cmd; lint_cmd; verify_cmd; testgen_cmd; schedule_cmd; codesign_cmd;
+        export_cmd ]
   in
   (* One-line diagnostics instead of backtraces: anything the commands do
      not handle themselves surfaces as "mfdft: error: ..." with exit 3. *)

@@ -39,8 +39,11 @@ let column_of raw token =
   in
   go 0
 
-let parse text =
+module Diag = Mf_util.Diag
+
+let parse_diags ?file text =
   let acc = { builder = None; dft = []; share = [] } in
+  let warns = ref [] in
   let rec process lineno = function
     | [] -> finish ()
     | raw :: rest ->
@@ -52,19 +55,24 @@ let parse text =
       let words =
         String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
       in
-      (* errors point at the offending token when one is identifiable,
-         otherwise at the directive itself *)
-      let error ?token lineno msg =
+      (* diagnostics point at the offending token when one is
+         identifiable, otherwise at the directive itself *)
+      let where ?token () =
         let anchor = match token with Some t -> Some t | None -> List.nth_opt words 0 in
-        match Option.bind anchor (column_of raw) with
-        | Some col -> Error (Printf.sprintf "line %d, col %d: %s" lineno col msg)
-        | None -> Error (Printf.sprintf "line %d: %s" lineno msg)
+        Diag.span ?file ~line:lineno ?col:(Option.bind anchor (column_of raw)) ()
+      in
+      let error ?token _lineno msg =
+        Error (Diag.by_severity (Diag.errorf ~where:(where ?token ()) ~code:"MF303" "%s" msg :: !warns))
+      in
+      let skip_with_warning ?token code msg =
+        warns := Diag.warningf ~where:(where ?token ()) ~code "%s" msg :: !warns;
+        process (lineno + 1) rest
       in
       (match words with
        | [] -> process (lineno + 1) rest
        | "chip" :: args -> (
            match (acc.builder, args) with
-           | Some _, _ -> error lineno "duplicate chip header"
+           | Some _, _ -> skip_with_warning "MF302" "duplicate chip header (ignored)"
            | None, [ name; w; h ] -> (
                match (int_of_string_opt w, int_of_string_opt h) with
                | Some width, Some height when width > 0 && height > 0 ->
@@ -131,13 +139,18 @@ let parse text =
                      process (lineno + 1) rest
                    | _, _ -> error lineno "usage: share DFT_INDEX ORIG_INDEX")
                | "share", _ -> error lineno "usage: share DFT_INDEX ORIG_INDEX"
-               | other, _ -> error lineno (Printf.sprintf "unknown directive %S" other))))
+               | other, _ ->
+                 skip_with_warning ~token:other "MF301"
+                   (Printf.sprintf "unknown directive %S (ignored)" other))))
   and finish () =
+    let fatal code msg =
+      Error (Diag.by_severity (Diag.errorf ~where:(Diag.span ?file ()) ~code "%s" msg :: !warns))
+    in
     match acc.builder with
-    | None -> Error "empty description: missing chip header"
+    | None -> fatal "MF303" "empty description: missing chip header"
     | Some b -> (
         match Chip.finish b with
-        | Error m -> Error ("validation: " ^ m)
+        | Error m -> fatal "MF304" ("validation: " ^ m)
         | Ok chip -> (
             try
               let chip =
@@ -163,10 +176,30 @@ let parse text =
                     (List.rev_map (fun (d, o) -> (n_orig + d, o)) acc.share)
                 end
               in
-              Ok chip
-            with Invalid_argument m -> Error ("augmentation: " ^ m)))
+              Ok (chip, List.rev !warns)
+            with Invalid_argument m -> fatal "MF304" ("augmentation: " ^ m)))
   in
   process 1 (String.split_on_char '\n' text)
+
+(* Legacy string API: strict — any diagnostic, warnings included, is a
+   rejection, preserving the historical behaviour where unknown directives
+   and duplicate headers were hard errors. *)
+let legacy_message (d : Diag.t) =
+  match (d.where.line, d.where.col) with
+  | Some l, Some c -> Printf.sprintf "line %d, col %d: %s" l c d.message
+  | Some l, None -> Printf.sprintf "line %d: %s" l d.message
+  | None, _ -> d.message
+
+let parse text =
+  match parse_diags text with
+  | Ok (chip, []) -> Ok chip
+  | Ok (_, d :: _) | Error (d :: _) -> Error (legacy_message d)
+  | Error [] -> Error "parse failed"
+
+let load_diags path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_diags ~file:path text
+  | exception Sys_error m -> Error [ Diag.errorf ~code:"MF303" "%s" m ]
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

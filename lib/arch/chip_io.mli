@@ -19,12 +19,27 @@
     [to_string] round-trips: parsing its output reproduces the chip
     (devices, ports, channels, valves, augmentation and sharing). *)
 
+val parse_diags :
+  ?file:string -> string -> (Chip.t * Mf_util.Diag.t list, Mf_util.Diag.t list) result
+(** Parse a description into a chip plus non-fatal diagnostics.  Unknown
+    directives ([MF301]) and duplicate chip headers ([MF302]) are warnings
+    — the offending line is skipped and parsing continues.  Syntax errors
+    are [MF303] and [Chip.finish]/augmentation rejections [MF304], both
+    fatal; [Error] carries them first, followed by any warnings collected
+    before the failure.  Spans reuse the line/column context of the error
+    messages ([?file] names the source in rendered diagnostics). *)
+
 val parse : string -> (Chip.t, string) result
-(** Parse a description.  Errors carry a line number and reason, including
-    the architecture validation errors of [Chip.finish]. *)
+(** Legacy strict API: {!parse_diags} with every diagnostic — warnings
+    included — treated as a rejection.  Errors carry a line number and
+    reason, including the architecture validation errors of
+    [Chip.finish]. *)
+
+val load_diags : string -> (Chip.t * Mf_util.Diag.t list, Mf_util.Diag.t list) result
+(** [load_diags path] reads and parses a file with {!parse_diags}. *)
 
 val load : string -> (Chip.t, string) result
-(** [load path] reads and parses a file. *)
+(** [load path] reads and parses a file with the strict {!parse}. *)
 
 val to_string : Chip.t -> string
 val save : string -> Chip.t -> unit

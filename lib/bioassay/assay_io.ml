@@ -16,17 +16,23 @@ let column_of raw token =
   in
   go 0
 
-let parse text =
+module Diag = Mf_util.Diag
+
+let parse_diags ?file text =
   let ops = ref [] in
   let deps = ref [] in
   let seen_header = ref false in
+  let warns = ref [] in
   let rec process lineno = function
     | [] ->
-      if not !seen_header then Error "empty description: missing assay header"
+      let fatal code msg =
+        Error (Diag.by_severity (Diag.errorf ~where:(Diag.span ?file ()) ~code "%s" msg :: !warns))
+      in
+      if not !seen_header then fatal "MF303" "empty description: missing assay header"
       else begin
         match Seqgraph.create (List.rev !ops) ~edges:(List.rev !deps) with
-        | Ok g -> Ok g
-        | Error m -> Error ("validation: " ^ m)
+        | Ok g -> Ok (g, List.rev !warns)
+        | Error m -> fatal "MF304" ("validation: " ^ m)
       end
     | raw :: rest -> (
         let line =
@@ -37,14 +43,22 @@ let parse text =
         let words =
           String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
         in
-        let error lineno msg =
-          match Option.bind (List.nth_opt words 0) (column_of raw) with
-          | Some col -> Error (Printf.sprintf "line %d, col %d: %s" lineno col msg)
-          | None -> Error (Printf.sprintf "line %d: %s" lineno msg)
+        let where () =
+          Diag.span ?file ~line:lineno
+            ?col:(Option.bind (List.nth_opt words 0) (column_of raw))
+            ()
+        in
+        let error _lineno msg =
+          Error (Diag.by_severity (Diag.errorf ~where:(where ()) ~code:"MF303" "%s" msg :: !warns))
+        in
+        let skip_with_warning code msg =
+          warns := Diag.warningf ~where:(where ()) ~code "%s" msg :: !warns;
+          process (lineno + 1) rest
         in
         match words with
         | [] -> process (lineno + 1) rest
-        | "assay" :: _ when !seen_header -> error lineno "duplicate assay header"
+        | "assay" :: _ when !seen_header ->
+          skip_with_warning "MF302" "duplicate assay header (ignored)"
         | [ "assay"; _name ] ->
           seen_header := true;
           process (lineno + 1) rest
@@ -64,9 +78,30 @@ let parse text =
               process (lineno + 1) rest
             | _, _ -> error lineno "usage: dep FROM TO")
         | "dep" :: _ -> error lineno "usage: dep FROM TO"
-        | other :: _ -> error lineno (Printf.sprintf "unknown directive %S" other))
+        | other :: _ ->
+          skip_with_warning "MF301" (Printf.sprintf "unknown directive %S (ignored)" other))
   in
   process 1 (String.split_on_char '\n' text)
+
+(* Legacy string API: strict — any diagnostic, warnings included, is a
+   rejection, preserving the historical behaviour where unknown directives
+   and duplicate headers were hard errors. *)
+let legacy_message (d : Diag.t) =
+  match (d.where.Diag.line, d.where.Diag.col) with
+  | Some l, Some c -> Printf.sprintf "line %d, col %d: %s" l c d.message
+  | Some l, None -> Printf.sprintf "line %d: %s" l d.message
+  | None, _ -> d.message
+
+let parse text =
+  match parse_diags text with
+  | Ok (g, []) -> Ok g
+  | Ok (_, d :: _) | Error (d :: _) -> Error (legacy_message d)
+  | Error [] -> Error "parse failed"
+
+let load_diags path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_diags ~file:path text
+  | exception Sys_error m -> Error [ Diag.errorf ~code:"MF303" "%s" m ]
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -11,7 +11,20 @@
 
     Operation ids must be dense 0..n-1.  [to_string] round-trips. *)
 
+val parse_diags :
+  ?file:string -> string -> (Seqgraph.t * Mf_util.Diag.t list, Mf_util.Diag.t list) result
+(** Parse into a sequencing graph plus non-fatal diagnostics: unknown
+    directives ([MF301]) and duplicate assay headers ([MF302]) are warnings
+    and the line is skipped; syntax errors ([MF303]) and [Seqgraph.create]
+    rejections ([MF304]) are fatal, returned errors-first with any
+    warnings collected before the failure.  Spans carry the same
+    line/column context as the legacy error strings. *)
+
 val parse : string -> (Seqgraph.t, string) result
+(** Legacy strict API: {!parse_diags} with every diagnostic — warnings
+    included — treated as a rejection. *)
+
+val load_diags : string -> (Seqgraph.t * Mf_util.Diag.t list, Mf_util.Diag.t list) result
 val load : string -> (Seqgraph.t, string) result
 val to_string : Seqgraph.t -> string
 val save : string -> Seqgraph.t -> unit

@@ -514,3 +514,24 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
            runtime = Unix.gettimeofday () -. started;
            degradations;
          })
+
+(* The claims a finished run makes about itself, in the form the
+   independent checker re-proves.  Coverage is re-measured here rather than
+   carried through [run] so the claim reflects the *returned* chip/suite
+   pair even after degradations. *)
+let certificate (r : result) =
+  let report = Vectors.validate r.shared r.suite in
+  Mf_verify.Cert.make
+    ~chip_name:(Chip.name r.shared)
+    ~suite:
+      {
+        Mf_verify.Cert.source_port = r.suite.Vectors.source_port;
+        meter_port = r.suite.Vectors.meter_port;
+        path_edges = r.suite.Vectors.path_edges;
+        cut_valves = r.suite.Vectors.cut_valves;
+      }
+    ~claimed_vectors:(Vectors.count r.suite)
+    ~claimed_coverage:
+      (report.Mf_faults.Coverage.detected, report.Mf_faults.Coverage.total_faults)
+
+let verify r = Mf_verify.Verify.certificate r.shared (certificate r)

@@ -115,3 +115,15 @@ val run :
     finishes bit-identical to the uninterrupted run.  Hard failures
     ([Error]) carry the failing stage, budget consumed and best incumbent
     ({!Mf_util.Fail.t}). *)
+
+val certificate : result -> Mf_verify.Cert.t
+(** The run's claims (suite, vector count, re-measured stuck-at coverage on
+    the shared chip) packaged for the independent checker — what
+    [dft_tool codesign --cert] writes next to the [.chip] file. *)
+
+val verify : result -> Mf_util.Diag.t list
+(** Post-codesign verification: lint the shared chip, re-prove
+    {!certificate} with [Mf_verify] (graph reachability + independent fault
+    simulation, no solver involvement), and scan for control-sharing
+    conflicts.  Run automatically for the report's "Verification" section;
+    degraded results must come back clean too. *)

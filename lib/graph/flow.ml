@@ -7,7 +7,6 @@ module Bitset = Mf_util.Bitset
 type residual = {
   heads : int array;          (* arc -> head node *)
   caps : int array;           (* arc -> remaining capacity *)
-  origin : int array;         (* arc -> originating undirected edge id *)
   first : int list array;     (* node -> arcs leaving it *)
 }
 
@@ -16,10 +15,10 @@ let build g ~allowed ~capacity =
   let arcs = ref [] in
   let count = ref 0 in
   let first = Array.make n [] in
-  let add_arc u v c e =
+  let add_arc u v c =
     let id = !count in
     incr count;
-    arcs := (v, c, e) :: !arcs;
+    arcs := (v, c) :: !arcs;
     first.(u) <- id :: first.(u);
     id
   in
@@ -28,16 +27,15 @@ let build g ~allowed ~capacity =
       if allowed e then begin
         let c = capacity e in
         assert (c >= 0);
-        let _ = add_arc u v c e in
-        let _ = add_arc v u c e in
+        let _ = add_arc u v c in
+        let _ = add_arc v u c in
         ()
       end)
     g;
   let listed = Array.of_list (List.rev !arcs) in
-  let heads = Array.map (fun (v, _, _) -> v) listed in
-  let caps = Array.map (fun (_, c, _) -> c) listed in
-  let origin = Array.map (fun (_, _, e) -> e) listed in
-  { heads; caps; origin; first }
+  let heads = Array.map fst listed in
+  let caps = Array.map snd listed in
+  { heads; caps; first }
 
 (* Arc pairing: arcs were added in pairs, so arc a's reverse is a lxor 1. *)
 let rev a = a lxor 1

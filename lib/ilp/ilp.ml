@@ -5,12 +5,9 @@ type var = Lp.var
 
 type relation = Lp.relation = Le | Ge | Eq
 
-type row = { terms : (float * var) list; rel : relation; rhs : float }
-
 type t = {
   lp : Lp.t;
   mutable binaries : var list; (* reversed *)
-  mutable rows : row list; (* reversed *)
   mutable nodes_explored : int;
 }
 
@@ -24,7 +21,7 @@ type outcome =
 
 type lazy_cut = (float * var) list * relation * float
 
-let create () = { lp = Lp.create (); binaries = []; rows = []; nodes_explored = 0 }
+let create () = { lp = Lp.create (); binaries = []; nodes_explored = 0 }
 
 let nodes_explored t = t.nodes_explored
 
@@ -38,9 +35,7 @@ let add_continuous ?(lower = 0.) ?(upper = infinity) ?(obj = 0.) t =
 
 let n_vars t = Lp.n_vars t.lp
 
-let add_row t terms rel rhs =
-  Lp.add_row t.lp terms rel rhs;
-  t.rows <- { terms; rel; rhs } :: t.rows
+let add_row t terms rel rhs = Lp.add_row t.lp terms rel rhs
 
 let int_tol = 1e-6
 

@@ -1,0 +1,85 @@
+(** Shared diagnostics core for the static-verification layer.
+
+    Every static check in the project — the chip netlist linter, the DFT
+    certificate checker, the control-sharing conflict analysis and the
+    [.chip]/[.assay] parsers — reports findings as values of {!t}: a stable
+    code (["MF001"], ...), a severity, an optional source span (file, line,
+    column) for textual inputs, an optional subject naming the chip entity
+    or vector concerned, and a one-line human message.
+
+    Diagnostics render two ways: {!pp}/{!pp_list} for humans and
+    {!to_json}/{!json_list} for tooling.  {!exit_code} implements the CLI
+    policy: errors always fail; warnings fail only under [--strict].
+
+    Code ranges (the catalog lives in DESIGN.md §9):
+    - MF0xx — chip netlist lints ([Mf_verify.Lint]);
+    - MF1xx — DFT certificate checks ([Mf_verify.Cert]);
+    - MF2xx — control-sharing conflicts ([Mf_verify.Conflict]);
+    - MF3xx — textual-input parse diagnostics ([Chip_io]/[Assay_io]). *)
+
+type severity = Error | Warning | Info
+
+type span = {
+  file : string option;
+  line : int option;  (** 1-based *)
+  col : int option;  (** 1-based *)
+}
+
+val no_span : span
+val span : ?file:string -> ?line:int -> ?col:int -> unit -> span
+
+type t = {
+  code : string;  (** stable catalog code, e.g. ["MF101"] *)
+  severity : severity;
+  message : string;  (** one line, human-readable *)
+  where : span;
+  subject : string option;
+      (** the chip entity / vector / schedule step concerned, e.g.
+          ["valve v7"] or ["cut #2"] *)
+}
+
+val v : ?where:span -> ?subject:string -> severity -> code:string -> string -> t
+
+val errorf :
+  ?where:span -> ?subject:string -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val warningf :
+  ?where:span -> ?subject:string -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val infof :
+  ?where:span -> ?subject:string -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+
+(** {1 Triage} *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val count : t list -> int * int
+(** [(n_errors, n_warnings)]. *)
+
+val has_errors : t list -> bool
+
+val by_severity : t list -> t list
+(** Stable sort, errors first, then warnings, then infos. *)
+
+val exit_code : strict:bool -> t list -> int
+(** CLI policy: [1] when any error is present, or — under [~strict:true] —
+    when any warning is; [0] otherwise. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+(** ["error[MF101] file:3:7: message (subject)"] with absent parts
+    omitted. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** One diagnostic per line followed by a ["N error(s), M warning(s)"]
+    summary line; prints ["no diagnostics"] for an empty list. *)
+
+val to_json : t -> string
+(** One-line JSON object with [code], [severity], [message] and the present
+    span/subject fields. *)
+
+val json_list : t list -> string
+(** JSON array of {!to_json} objects, one per line. *)

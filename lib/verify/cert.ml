@@ -1,0 +1,380 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+module Bitset = Mf_util.Bitset
+module Diag = Mf_util.Diag
+module Fault = Mf_faults.Fault
+
+type suite = {
+  source_port : int;
+  meter_port : int;
+  path_edges : int list list;
+  cut_valves : int list list;
+}
+
+type t = {
+  chip_name : string;
+  suite : suite;
+  claimed_vectors : int;
+  claimed_detected : int;
+  claimed_total : int;
+}
+
+let make ~chip_name ~suite ~claimed_vectors ~claimed_coverage:(claimed_detected, claimed_total) =
+  { chip_name; suite; claimed_vectors; claimed_detected; claimed_total }
+
+(* ------------------------------------------------------------------ *)
+(* Independent pressure/fault simulation: the physics of Sec. 2 restated
+   from scratch on top of graph reachability — no Mf_faults.Pressure, no
+   solver involvement. *)
+
+let active_lines_of_path chip edges =
+  let active = Bitset.create (Chip.n_controls chip) in
+  Bitset.fill active;
+  List.iter
+    (fun e ->
+      match Chip.valve_on chip e with
+      | Some v -> Bitset.remove active v.control
+      | None -> ())
+    edges;
+  active
+
+let active_lines_of_cut chip valve_ids =
+  let active = Bitset.create (Chip.n_controls chip) in
+  let valves = Chip.valves chip in
+  List.iter (fun v -> Bitset.add active valves.(v).control) valve_ids;
+  active
+
+let conducts chip ?fault ~active e =
+  Chip.is_channel chip e
+  && (match fault with Some (Fault.Stuck_at_0 e') -> e' <> e | _ -> true)
+  &&
+  match Chip.valve_on chip e with
+  | None -> true
+  | Some v ->
+    (not (Bitset.mem active v.control))
+    || (match fault with Some (Fault.Stuck_at_1 w) -> w = v.valve_id | _ -> false)
+
+let reading ?fault chip ~active ~source ~meter =
+  let g = Grid.graph (Chip.grid chip) in
+  Traverse.connected g ~allowed:(conducts chip ?fault ~active) source meter
+
+(* ------------------------------------------------------------------ *)
+(* Checks *)
+
+let edge_str chip e = Format.asprintf "%a" (Grid.pp_edge (Chip.grid chip)) e
+
+(* MF105: every id the certificate names must exist on the chip.  Returns
+   diagnostics; deeper checks run only when this comes back clean. *)
+let check_ranges chip t =
+  let n_ports = Array.length (Chip.ports chip) in
+  let n_edges = Graph.n_edges (Grid.graph (Chip.grid chip)) in
+  let n_valves = Chip.n_valves chip in
+  let out = ref [] in
+  if Chip.name chip <> t.chip_name then
+    out :=
+      Diag.warningf ~code:"MF105" "certificate was issued for chip %S, checking against %S"
+        t.chip_name (Chip.name chip)
+      :: !out;
+  let port_ok label p =
+    if p < 0 || p >= n_ports then
+      out :=
+        Diag.errorf ~code:"MF105" "%s port id %d outside [0, %d)" label p n_ports :: !out
+  in
+  port_ok "source" t.suite.source_port;
+  port_ok "meter" t.suite.meter_port;
+  List.iteri
+    (fun i edges ->
+      List.iter
+        (fun e ->
+          if e < 0 || e >= n_edges then
+            out :=
+              Diag.errorf ~code:"MF105"
+                ~subject:(Printf.sprintf "path #%d" i)
+                "path #%d names edge %d outside [0, %d)" i e n_edges
+              :: !out)
+        edges)
+    t.suite.path_edges;
+  List.iteri
+    (fun i valves ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n_valves then
+            out :=
+              Diag.errorf ~code:"MF105"
+                ~subject:(Printf.sprintf "cut #%d" i)
+                "cut #%d names valve %d outside [0, %d)" i v n_valves
+              :: !out)
+        valves)
+    t.suite.cut_valves;
+  List.rev !out
+
+(* MF101: each claimed path must be a contiguous walk of conducting
+   channel edges from the source port to the meter port under its own
+   vector. *)
+let check_paths chip t ~source ~meter =
+  let g = Grid.graph (Chip.grid chip) in
+  let out = ref [] in
+  List.iteri
+    (fun i edges ->
+      let subject = Printf.sprintf "path #%d" i in
+      let err fmt = Diag.errorf ~code:"MF101" ~subject fmt in
+      if edges = [] then out := err "path #%d is empty" i :: !out
+      else begin
+        let active = active_lines_of_path chip edges in
+        (* contiguity: fold the edge list into a walk from the source *)
+        let rec walk node = function
+          | [] -> Some node
+          | e :: rest -> (
+              match Graph.other_endpoint g ~edge:e node with
+              | next -> walk next rest
+              | exception Invalid_argument _ -> None)
+        in
+        (match walk source edges with
+         | None ->
+           out := err "path #%d is not a contiguous walk from the source port" i :: !out
+         | Some final when final <> meter ->
+           out := err "path #%d ends at node %d, not at the meter port" i final :: !out
+         | Some _ -> ());
+        List.iter
+          (fun e ->
+            if not (Chip.is_channel chip e) then
+              out := err "path #%d uses edge %s which carries no channel" i (edge_str chip e) :: !out
+            else if not (conducts chip ~active e) then
+              out :=
+                err "path #%d is blocked at edge %s: its valve is closed by the vector" i
+                  (edge_str chip e)
+                :: !out)
+          edges;
+        (* the realized vector must actually propagate pressure end to end *)
+        if not (reading chip ~active ~source ~meter) then
+          out := err "path #%d does not connect source to meter when applied" i :: !out
+      end)
+    t.suite.path_edges;
+  List.rev !out
+
+(* MF102: closing a cut's valves (and whatever shares their lines) must
+   disconnect source from meter. *)
+let check_cuts chip t ~source ~meter =
+  let out = ref [] in
+  List.iteri
+    (fun i valves ->
+      let active = active_lines_of_cut chip valves in
+      if reading chip ~active ~source ~meter then
+        out :=
+          Diag.errorf ~code:"MF102"
+            ~subject:(Printf.sprintf "cut #%d" i)
+            "cut #%d does not disconnect source from meter: pressure still propagates" i
+          :: !out)
+    t.suite.cut_valves;
+  List.rev !out
+
+(* Fault-free readings: paths must read pressure, cuts must not (MF104). *)
+let check_well_formed chip t ~source ~meter =
+  let out = ref [] in
+  List.iteri
+    (fun i edges ->
+      let active = active_lines_of_path chip edges in
+      if not (reading chip ~active ~source ~meter) then
+        out :=
+          Diag.errorf ~code:"MF104"
+            ~subject:(Printf.sprintf "path #%d" i)
+            "path vector #%d is malformed: expected pressure at the meter, read none" i
+          :: !out)
+    t.suite.path_edges;
+  List.iteri
+    (fun i valves ->
+      let active = active_lines_of_cut chip valves in
+      if reading chip ~active ~source ~meter then
+        out :=
+          Diag.errorf ~code:"MF104"
+            ~subject:(Printf.sprintf "cut #%d" i)
+            "cut vector #%d is malformed: meter reads pressure without any defect" i
+          :: !out)
+    t.suite.cut_valves;
+  List.rev !out
+
+(* MF103: re-measure stuck-at-0/1 coverage by exhaustive single-fault
+   simulation and compare against the claim. *)
+let check_coverage chip t ~source ~meter =
+  let vectors =
+    List.map (fun edges -> active_lines_of_path chip edges) t.suite.path_edges
+    @ List.map (fun valves -> active_lines_of_cut chip valves) t.suite.cut_valves
+  in
+  let fault_free = List.map (fun active -> reading chip ~active ~source ~meter) vectors in
+  let universe =
+    List.filter (function Fault.Leak _ -> false | _ -> true) (Fault.all chip)
+  in
+  let detected, escaped =
+    List.fold_left
+      (fun (d, esc) fault ->
+        let caught =
+          List.exists2
+            (fun active clean -> reading chip ~fault ~active ~source ~meter <> clean)
+            vectors fault_free
+        in
+        if caught then (d + 1, esc) else (d, fault :: esc))
+      (0, []) universe
+  in
+  let out = ref [] in
+  let total = List.length universe in
+  List.iter
+    (fun fault ->
+      out :=
+        Diag.errorf ~code:"MF103" "fault %s escapes the suite"
+          (Format.asprintf "%a" (Fault.pp chip) fault)
+        :: !out)
+    (List.rev escaped);
+  if detected <> t.claimed_detected || total <> t.claimed_total then
+    out :=
+      Diag.errorf ~code:"MF103"
+        "claimed stuck-at-0/1 coverage %d/%d, independent simulation measures %d/%d"
+        t.claimed_detected t.claimed_total detected total
+      :: !out;
+  let n_vectors = List.length t.suite.path_edges + List.length t.suite.cut_valves in
+  if n_vectors <> t.claimed_vectors then
+    out :=
+      Diag.errorf ~code:"MF103" "certificate claims %d vectors but carries %d"
+        t.claimed_vectors n_vectors
+      :: !out;
+  List.rev !out
+
+let check chip t =
+  match check_ranges chip t with
+  | ranged when Diag.has_errors ranged -> ranged
+  | ranged ->
+    let ports = Chip.ports chip in
+    let source = ports.(t.suite.source_port).node in
+    let meter = ports.(t.suite.meter_port).node in
+    Diag.by_severity
+      (ranged @ check_paths chip t ~source ~meter @ check_cuts chip t ~source ~meter
+      @ check_well_formed chip t ~source ~meter
+      @ check_coverage chip t ~source ~meter)
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation *)
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "# DFT test certificate (mfdft)\n";
+  Buffer.add_string buf (Printf.sprintf "cert %s\n" t.chip_name);
+  Buffer.add_string buf
+    (Printf.sprintf "suite %d %d\n" t.suite.source_port t.suite.meter_port);
+  List.iter
+    (fun edges ->
+      Buffer.add_string buf
+        ("path " ^ String.concat " " (List.map string_of_int edges) ^ "\n"))
+    t.suite.path_edges;
+  List.iter
+    (fun valves ->
+      Buffer.add_string buf ("cut " ^ String.concat " " (List.map string_of_int valves) ^ "\n"))
+    t.suite.cut_valves;
+  Buffer.add_string buf (Printf.sprintf "claim vectors %d\n" t.claimed_vectors);
+  Buffer.add_string buf
+    (Printf.sprintf "claim coverage %d %d\n" t.claimed_detected t.claimed_total);
+  Buffer.contents buf
+
+let save path t = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string t))
+
+let parse ?file text =
+  let where lineno = Diag.span ?file ~line:lineno () in
+  let name = ref None in
+  let header = ref None in
+  let paths = ref [] in
+  let cuts = ref [] in
+  let claim_vectors = ref None in
+  let claim_coverage = ref None in
+  let err lineno fmt =
+    Printf.ksprintf
+      (fun msg -> Error [ Diag.errorf ~where:(where lineno) ~code:"MF303" "%s" msg ])
+      fmt
+  in
+  let ints lineno label words k =
+    let parsed = List.map int_of_string_opt words in
+    if List.exists (fun p -> p = None) parsed then
+      err lineno "%s expects integer ids" label
+    else
+      k (List.map Option.get parsed)
+  in
+  let rec process lineno = function
+    | [] ->
+      (match (!name, !header) with
+       | None, _ -> Error [ Diag.errorf ~where:(where lineno) ~code:"MF303" "missing cert header" ]
+       | _, None ->
+         Error [ Diag.errorf ~where:(where lineno) ~code:"MF303" "missing suite SRC METER line" ]
+       | Some chip_name, Some (source_port, meter_port) ->
+         let suite =
+           {
+             source_port;
+             meter_port;
+             path_edges = List.rev !paths;
+             cut_valves = List.rev !cuts;
+           }
+         in
+         let n_vectors = List.length suite.path_edges + List.length suite.cut_valves in
+         Ok
+           {
+             chip_name;
+             suite;
+             claimed_vectors = Option.value !claim_vectors ~default:n_vectors;
+             claimed_detected = (match !claim_coverage with Some (d, _) -> d | None -> 0);
+             claimed_total = (match !claim_coverage with Some (_, t) -> t | None -> 0);
+           })
+    | raw :: rest -> (
+        let line =
+          match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> process (lineno + 1) rest
+        | [ "cert"; n ] ->
+          if !name <> None then err lineno "duplicate cert header"
+          else begin
+            name := Some n;
+            process (lineno + 1) rest
+          end
+        | "cert" :: _ -> err lineno "usage: cert CHIP_NAME"
+        | [ "suite"; s; m ] ->
+          ints lineno "suite" [ s; m ] (function
+            | [ s; m ] ->
+              if !header <> None then err lineno "duplicate suite line"
+              else begin
+                header := Some (s, m);
+                process (lineno + 1) rest
+              end
+            | _ -> err lineno "usage: suite SRC_PORT METER_PORT")
+        | "suite" :: _ -> err lineno "usage: suite SRC_PORT METER_PORT"
+        | "path" :: ids when ids <> [] ->
+          ints lineno "path" ids (fun edges ->
+              paths := edges :: !paths;
+              process (lineno + 1) rest)
+        | "path" :: _ -> err lineno "path needs at least one edge id"
+        | "cut" :: ids when ids <> [] ->
+          ints lineno "cut" ids (fun valves ->
+              cuts := valves :: !cuts;
+              process (lineno + 1) rest)
+        | "cut" :: _ -> err lineno "cut needs at least one valve id"
+        | [ "claim"; "vectors"; n ] ->
+          ints lineno "claim vectors" [ n ] (function
+            | [ n ] ->
+              claim_vectors := Some n;
+              process (lineno + 1) rest
+            | _ -> err lineno "usage: claim vectors N")
+        | [ "claim"; "coverage"; d; t ] ->
+          ints lineno "claim coverage" [ d; t ] (function
+            | [ d; t ] ->
+              claim_coverage := Some (d, t);
+              process (lineno + 1) rest
+            | _ -> err lineno "usage: claim coverage DETECTED TOTAL")
+        | "claim" :: _ -> err lineno "usage: claim vectors N | claim coverage DETECTED TOTAL"
+        | other :: _ -> err lineno "unknown certificate directive %S" other)
+  in
+  process 1 (String.split_on_char '\n' text)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ~file:path text
+  | exception Sys_error m -> Error [ Diag.errorf ~code:"MF303" "%s" m ]

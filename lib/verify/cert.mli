@@ -1,0 +1,97 @@
+(** DFT test certificates: the artifact a codesign/testgen run {e claims}
+    (its suite and coverage), re-proved here without the solver stack.
+
+    The checker is deliberately independent of [Mf_ilp]/[Mf_lp]/[Mf_pso]
+    and of the generation-side fault simulator: paths and cuts are
+    re-proved with plain graph reachability ({!Mf_graph.Traverse}), and
+    coverage is re-measured by a self-contained single-fault simulation
+    over the {!Mf_faults.Fault} universe.  A bug in the ILP path generator,
+    the cut generator, the sharing validator or the degradation ladder
+    therefore cannot vouch for itself.
+
+    Codes (catalog in DESIGN.md §9):
+    - [MF101] (error) a claimed test path is not an open source→meter path
+      under its own vector;
+    - [MF102] (error) a claimed test cut fails to disconnect source from
+      meter when its valves close;
+    - [MF103] (error) the suite's stuck-at-0/1 coverage does not match the
+      claim, or a fault escapes the suite;
+    - [MF104] (error) a vector is malformed: its fault-free reading
+      contradicts its expectation;
+    - [MF105] (error) the certificate references ids outside the chip
+      (ports, edges, valves); (warning) certificate/chip name mismatch. *)
+
+type suite = {
+  source_port : int;
+  meter_port : int;
+  path_edges : int list list;
+  cut_valves : int list list;
+}
+(** Structurally identical to [Mf_testgen.Vectors.t], duplicated here so
+    this library does not link the solver stack; callers copy the fields. *)
+
+type t = {
+  chip_name : string;
+  suite : suite;
+  claimed_vectors : int;
+  claimed_detected : int;  (** stuck-at-0/1 faults the generator claims caught *)
+  claimed_total : int;  (** size of the stuck-at-0/1 universe it claims *)
+}
+
+val make :
+  chip_name:string ->
+  suite:suite ->
+  claimed_vectors:int ->
+  claimed_coverage:int * int ->
+  t
+
+(** {1 Checking} *)
+
+val check : Mf_arch.Chip.t -> t -> Mf_util.Diag.t list
+(** Re-prove every claim against the chip.  Empty result = certificate
+    holds.  Id-range errors ([MF105]) suppress the deeper checks that
+    would index out of bounds. *)
+
+(** {1 Independent fault simulation}
+
+    Exposed for the conflict analysis and tests. *)
+
+val active_lines_of_path : Mf_arch.Chip.t -> int list -> Mf_util.Bitset.t
+(** Control lines a path vector pressurises: every line except those of
+    the valves on the path (the realized vector under any sharing). *)
+
+val active_lines_of_cut : Mf_arch.Chip.t -> int list -> Mf_util.Bitset.t
+(** Control lines a cut vector pressurises: exactly the lines of the cut
+    valves. *)
+
+val conducts :
+  Mf_arch.Chip.t -> ?fault:Mf_faults.Fault.t -> active:Mf_util.Bitset.t -> int -> bool
+
+val reading :
+  ?fault:Mf_faults.Fault.t -> Mf_arch.Chip.t -> active:Mf_util.Bitset.t -> source:int ->
+  meter:int -> bool
+(** Does the meter node see pressure injected at the source node? *)
+
+(** {1 Serialisation}
+
+    Line-oriented [.cert] format, mirroring [.chip]/[.assay]:
+    {v
+    cert CHIP_NAME
+    suite SRC_PORT METER_PORT
+    path E1 E2 ...          # one line per test path, edge ids
+    cut V1 V2 ...           # one line per test cut, valve ids
+    claim vectors N
+    claim coverage DETECTED TOTAL
+    v}
+    Edge and valve ids are the chip's own (stable across a [.chip]
+    round-trip for a given grid size and directive order). *)
+
+val to_string : t -> string
+val save : string -> t -> unit
+
+val parse : ?file:string -> string -> (t, Mf_util.Diag.t list) result
+(** Parse failures are [MF303] (syntax) diagnostics with line/column
+    spans.  Certificates are machine-written, so unknown directives are
+    errors, not warnings. *)
+
+val load : string -> (t, Mf_util.Diag.t list) result

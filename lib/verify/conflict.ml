@@ -1,0 +1,204 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Bitset = Mf_util.Bitset
+module Diag = Mf_util.Diag
+module Schedule = Mf_sched.Schedule
+
+(* ------------------------------------------------------------------ *)
+(* MF201: per-vector conflicts.
+
+   Every test vector splits the valve set in two: valves it needs open
+   (path valves under a path vector, non-cut valves under a cut vector)
+   and valves it needs closed.  A control line with a foot in both camps
+   cannot realize the vector — whichever state the line takes betrays one
+   side. *)
+
+let vector_conflicts chip ~subject ~kind ~open_intent =
+  let n = Chip.n_controls chip in
+  (* per line, a representative valve from each camp *)
+  let wants_open = Array.make n None in
+  let wants_closed = Array.make n None in
+  Array.iter
+    (fun (v : Chip.valve) ->
+      let camp = if open_intent v then wants_open else wants_closed in
+      if camp.(v.control) = None then camp.(v.control) <- Some v.valve_id)
+    (Chip.valves chip);
+  let out = ref [] in
+  for line = 0 to n - 1 do
+    match (wants_open.(line), wants_closed.(line)) with
+    | Some vo, Some vc ->
+      out :=
+        Diag.warningf ~code:"MF201" ~subject
+          "%s needs valve v%d open but valve v%d closed, yet both hang on control line %d \
+           (shared-line masking)"
+          kind vo vc line
+        :: !out
+    | _ -> ()
+  done;
+  List.rev !out
+
+let suite chip (s : Cert.suite) =
+  let on_path edges =
+    let set = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace set e ()) edges;
+    fun (v : Chip.valve) -> Hashtbl.mem set v.edge
+  in
+  let from_paths =
+    List.concat
+      (List.mapi
+         (fun i edges ->
+           vector_conflicts chip
+             ~subject:(Printf.sprintf "path #%d" i)
+             ~kind:(Printf.sprintf "path vector #%d" i)
+             ~open_intent:(on_path edges))
+         s.Cert.path_edges)
+  in
+  let from_cuts =
+    List.concat
+      (List.mapi
+         (fun i valves ->
+           let cut = Hashtbl.create 8 in
+           List.iter (fun v -> Hashtbl.replace cut v ()) valves;
+           vector_conflicts chip
+             ~subject:(Printf.sprintf "cut #%d" i)
+             ~kind:(Printf.sprintf "cut vector #%d" i)
+             ~open_intent:(fun (v : Chip.valve) -> not (Hashtbl.mem cut v.valve_id)))
+         s.Cert.cut_valves)
+  in
+  from_paths @ from_cuts
+
+(* ------------------------------------------------------------------ *)
+(* MF202: schedule-step conflicts.
+
+   Replays the event log and re-derives, for every transport, the state
+   the scheduler saw: concurrent transports, fluid resting in storage
+   pockets, devices mid-operation.  Then re-applies the Sec. 4.1 legality
+   rule from scratch: any valve forced open by the released control lines
+   and not on a moving route must not touch a protected node. *)
+
+type interval = { i_start : int; i_finish : int }
+
+let overlaps a b = a.i_start < b.i_finish && b.i_start < a.i_finish
+
+type transport = { tr_path : int list; tr_ival : interval; tr_unit : int }
+
+(* Storage occupancy: a unit rests on its pocket edge from Unit_stored
+   until its next Transport_started (else the makespan). *)
+let storage_intervals (sched : Schedule.t) =
+  let starts u after =
+    List.filter_map
+      (function
+        | Schedule.Transport_started { unit_id; time; _ } when unit_id = u && time >= after ->
+          Some time
+        | _ -> None)
+      sched.events
+    |> List.fold_left (fun acc t -> match acc with Some b when b <= t -> acc | _ -> Some t) None
+  in
+  List.filter_map
+    (function
+      | Schedule.Unit_stored { unit_id; edge; time } ->
+        let finish = Option.value (starts unit_id time) ~default:sched.makespan in
+        Some (edge, { i_start = time; i_finish = finish })
+      | _ -> None)
+    sched.events
+
+(* Device busy windows: Op_started .. matching Op_finished. *)
+let device_intervals (sched : Schedule.t) =
+  List.filter_map
+    (function
+      | Schedule.Op_started { op; device; time } ->
+        let finish =
+          List.filter_map
+            (function
+              | Schedule.Op_finished { op = o; device = d; time = t }
+                when o = op && d = device && t >= time ->
+                Some t
+              | _ -> None)
+            sched.events
+          |> List.fold_left
+               (fun acc t -> match acc with Some b when b <= t -> acc | _ -> Some t)
+               None
+        in
+        Some (device, { i_start = time; i_finish = Option.value finish ~default:sched.makespan })
+      | _ -> None)
+    sched.events
+
+let path_nodes g edges =
+  List.concat_map
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      [ u; v ])
+    edges
+
+let schedule chip (sched : Schedule.t) =
+  let g = Grid.graph (Chip.grid chip) in
+  let transports =
+    List.filter_map
+      (function
+        | Schedule.Transport_started { unit_id; path; time; finish } ->
+          Some { tr_path = path; tr_ival = { i_start = time; i_finish = finish }; tr_unit = unit_id }
+        | _ -> None)
+      sched.events
+  in
+  let storage = storage_intervals sched in
+  let busy = device_intervals sched in
+  let devices = Chip.devices chip in
+  let out = ref [] in
+  List.iteri
+    (fun i tr ->
+      let concurrent =
+        List.filteri (fun j other -> j <> i && overlaps tr.tr_ival other.tr_ival) transports
+      in
+      (* lines released while this transport moves *)
+      let inactive = Bitset.create (Chip.n_controls chip) in
+      let release edges =
+        List.iter
+          (fun e ->
+            match Chip.valve_on chip e with
+            | Some v -> Bitset.add inactive v.control
+            | None -> ())
+          edges
+      in
+      release tr.tr_path;
+      List.iter (fun other -> release other.tr_path) concurrent;
+      let moving_edges = Bitset.create (Graph.n_edges g) in
+      List.iter (Bitset.add moving_edges) tr.tr_path;
+      List.iter (fun other -> List.iter (Bitset.add moving_edges) other.tr_path) concurrent;
+      let protected_nodes = Bitset.create (Graph.n_nodes g) in
+      List.iter (Bitset.add protected_nodes) (path_nodes g tr.tr_path);
+      List.iter
+        (fun other -> List.iter (Bitset.add protected_nodes) (path_nodes g other.tr_path))
+        concurrent;
+      List.iter
+        (fun (edge, ival) ->
+          if overlaps tr.tr_ival ival then begin
+            let u, v = Graph.endpoints g edge in
+            Bitset.add protected_nodes u;
+            Bitset.add protected_nodes v
+          end)
+        storage;
+      List.iter
+        (fun (device, ival) ->
+          if overlaps tr.tr_ival ival && device >= 0 && device < Array.length devices then
+            Bitset.add protected_nodes devices.(device).Chip.node)
+        busy;
+      Array.iter
+        (fun (v : Chip.valve) ->
+          if
+            Bitset.mem inactive v.control
+            && not (Bitset.mem moving_edges v.edge)
+          then begin
+            let a, b = Graph.endpoints g v.edge in
+            if Bitset.mem protected_nodes a || Bitset.mem protected_nodes b then
+              out :=
+                Diag.warningf ~code:"MF202"
+                  ~subject:(Printf.sprintf "transport of unit %d at t=%d" tr.tr_unit tr.tr_ival.i_start)
+                  "transport of unit %d at t=%d releases control line %d, forcing valve v%d \
+                   open against a resting fluid or busy device (shared-line hazard)"
+                  tr.tr_unit tr.tr_ival.i_start v.control v.valve_id
+                :: !out
+          end)
+        (Chip.valves chip))
+    transports;
+  List.rev !out

@@ -1,0 +1,30 @@
+(** Static control-sharing conflict analysis: the masking condition of
+    paper Sec. 4.
+
+    When a DFT valve borrows an original valve's control line, a test
+    vector or a schedule step that needs one of them open and the other
+    closed cannot realize its intent — the shared line forces both the
+    same way.  Fault simulation may still pass (the forced state can be
+    harmless), so these are warnings; actual coverage breakage surfaces as
+    [Cert] errors.
+
+    Codes (catalog in DESIGN.md §9):
+    - [MF201] (warning) a test vector requires contradictory states from
+      two valves on one control line, reporting the offending vector;
+    - [MF202] (warning) a schedule step forces open a shared valve whose
+      edge touches a resting fluid, a busy device or a concurrent
+      transport route, reporting the offending step. *)
+
+val suite : Mf_arch.Chip.t -> Cert.suite -> Mf_util.Diag.t list
+(** [MF201] findings: for each path vector, valves on the path must open
+    while every other valve closes; for each cut vector, the cut valves
+    must close while every other valve releases.  Any control line driving
+    valves from both sides of that split is a conflict. *)
+
+val schedule : Mf_arch.Chip.t -> Mf_sched.Schedule.t -> Mf_util.Diag.t list
+(** [MF202] findings: replays the schedule's event log (transport
+    intervals, storage occupancy, device busy windows) and re-checks the
+    scheduler's sharing-legality rule independently: at every transport,
+    each valve forced open by the transport's released control lines and
+    not on an in-flight route must not touch a storage edge's endpoints, a
+    busy device's node or a concurrent transport's nodes. *)

@@ -1,0 +1,281 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Traverse = Mf_graph.Traverse
+module Bitset = Mf_util.Bitset
+module Diag = Mf_util.Diag
+
+let edge_str grid e = Format.asprintf "%a" (Grid.pp_edge grid) e
+let node_str grid n = Format.asprintf "%a" (Grid.pp_node grid) n
+
+(* MF001: duplicate placement. *)
+let duplicates chip =
+  let out = ref [] in
+  let node_users : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let place node label =
+    (match Hashtbl.find_opt node_users node with
+     | Some other ->
+       out :=
+         Diag.errorf ~code:"MF001" ~subject:label "%s occupies the same grid node as %s" label
+           other
+         :: !out
+     | None -> ());
+    Hashtbl.replace node_users node label
+  in
+  Array.iter (fun (d : Chip.device) -> place d.node (Printf.sprintf "device %s" d.name)) (Chip.devices chip);
+  Array.iter (fun (p : Chip.port) -> place p.node (Printf.sprintf "port %s" p.port_name)) (Chip.ports chip);
+  let edge_valves : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (v : Chip.valve) ->
+      (match Hashtbl.find_opt edge_valves v.edge with
+       | Some other ->
+         out :=
+           Diag.errorf ~code:"MF001"
+             ~subject:(Printf.sprintf "valve v%d" v.valve_id)
+             "valves v%d and v%d sit on the same edge %s" other v.valve_id
+             (edge_str (Chip.grid chip) v.edge)
+           :: !out
+       | None -> ());
+      Hashtbl.replace edge_valves v.edge v.valve_id)
+    (Chip.valves chip);
+  List.rev !out
+
+(* MF002: ports must exist and touch the channel network. *)
+let ports_wired chip =
+  let g = Grid.graph (Chip.grid chip) in
+  let out = ref [] in
+  if Array.length (Chip.ports chip) < 2 then
+    out := Diag.errorf ~code:"MF002" "a chip needs at least two ports, found %d"
+             (Array.length (Chip.ports chip))
+           :: !out;
+  Array.iter
+    (fun (p : Chip.port) ->
+      let has_channel =
+        List.exists (fun (e, _) -> Chip.is_channel chip e) (Graph.incident g p.node)
+      in
+      if not has_channel then
+        out :=
+          Diag.errorf ~code:"MF002"
+            ~subject:(Printf.sprintf "port %s" p.port_name)
+            "port %s at %s has no incident channel" p.port_name
+            (node_str (Chip.grid chip) p.node)
+          :: !out)
+    (Chip.ports chip);
+  List.rev !out
+
+(* MF003: every valve must sit on a channel. *)
+let valves_on_channels chip =
+  Array.to_list (Chip.valves chip)
+  |> List.filter_map (fun (v : Chip.valve) ->
+         if Chip.is_channel chip v.edge then None
+         else
+           Some
+             (Diag.errorf ~code:"MF003"
+                ~subject:(Printf.sprintf "valve v%d" v.valve_id)
+                "valve v%d sits on edge %s which carries no channel" v.valve_id
+                (edge_str (Chip.grid chip) v.edge)))
+
+(* MF004: dangling channels.  A dead-end channel edge (one endpoint of
+   channel-degree 1 holding neither a port nor a device) is fine only when
+   it can hold fluid: the edge itself is valved, or every other channel
+   edge at its open end is valved (a valve-enclosed storage pocket). *)
+let dangling chip =
+  let grid = Chip.grid chip in
+  let g = Grid.graph grid in
+  let channels = Chip.channel_edges chip in
+  let channel_degree n =
+    List.fold_left (fun acc (e, _) -> if Bitset.mem channels e then acc + 1 else acc) 0
+      (Graph.incident g n)
+  in
+  let anchored n = Chip.port_at chip n <> None || Chip.device_at chip n <> None in
+  let out = ref [] in
+  Bitset.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      let dead n = channel_degree n = 1 && not (anchored n) in
+      let check ~dead_end ~inner =
+        if dead dead_end then begin
+          let enclosed =
+            Chip.valve_on chip e <> None
+            || List.for_all
+                 (fun (e', _) ->
+                   e' = e || (not (Bitset.mem channels e')) || Chip.valve_on chip e' <> None)
+                 (Graph.incident g inner)
+          in
+          if not enclosed then
+            out :=
+              Diag.warningf ~code:"MF004"
+                ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+                "channel %s dead-ends at %s without a valve enclosing it (unusable stub)"
+                (edge_str grid e) (node_str grid dead_end)
+              :: !out
+        end
+      in
+      check ~dead_end:u ~inner:v;
+      check ~dead_end:v ~inner:u)
+    channels;
+  List.rev !out
+
+(* MF005: reachability through the channel network. *)
+let reachability chip =
+  let grid = Chip.grid chip in
+  let g = Grid.graph grid in
+  let channels = Chip.channel_edges chip in
+  match Chip.ports chip with
+  | [||] -> []
+  | ports ->
+    let allowed e = Bitset.mem channels e in
+    let reach = Traverse.reachable g ~allowed ~src:ports.(0).node in
+    let out = ref [] in
+    Array.iter
+      (fun (p : Chip.port) ->
+        if not (Bitset.mem reach p.node) then
+          out :=
+            Diag.errorf ~code:"MF005"
+              ~subject:(Printf.sprintf "port %s" p.port_name)
+              "port %s is unreachable from port %s through channels" p.port_name
+              ports.(0).port_name
+            :: !out)
+      ports;
+    Array.iter
+      (fun (d : Chip.device) ->
+        if not (Bitset.mem reach d.node) then
+          out :=
+            Diag.errorf ~code:"MF005"
+              ~subject:(Printf.sprintf "device %s" d.name)
+              "device %s is unreachable from port %s through channels" d.name
+              ports.(0).port_name
+            :: !out)
+      (Chip.devices chip);
+    (* floating channel islands touch no port at all: harmless to the
+       assay but dead silicon and untestable by any source/meter pair *)
+    Bitset.iter
+      (fun e ->
+        let u, v = Graph.endpoints g e in
+        if (not (Bitset.mem reach u)) && not (Bitset.mem reach v) then
+          out :=
+            Diag.warningf ~code:"MF005"
+              ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+              "channel %s floats in a component no port can reach" (edge_str grid e)
+            :: !out)
+      channels;
+    List.rev !out
+
+(* MF006: grid embedding sanity. *)
+let coordinates chip =
+  let grid = Chip.grid chip in
+  let g = Grid.graph grid in
+  let w = Grid.width grid and h = Grid.height grid in
+  let out = ref [] in
+  let check_node label n =
+    let x, y = Grid.coords grid n in
+    if x < 0 || x >= w || y < 0 || y >= h then
+      out :=
+        Diag.errorf ~code:"MF006" ~subject:label "%s lies outside the %dx%d grid" label w h
+        :: !out
+  in
+  Array.iter (fun (d : Chip.device) -> check_node (Printf.sprintf "device %s" d.name) d.node) (Chip.devices chip);
+  Array.iter (fun (p : Chip.port) -> check_node (Printf.sprintf "port %s" p.port_name) p.node) (Chip.ports chip);
+  Bitset.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      let xu, yu = Grid.coords grid u and xv, yv = Grid.coords grid v in
+      if abs (xu - xv) + abs (yu - yv) <> 1 then
+        out :=
+          Diag.errorf ~code:"MF006"
+            ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+            "channel %s joins non-adjacent grid nodes" (edge_str grid e)
+          :: !out)
+    (Chip.channel_edges chip);
+  List.rev !out
+
+(* MF007: DFT augmentation consistency. *)
+let dft_consistent chip =
+  let grid = Chip.grid chip in
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e then
+        out :=
+          Diag.errorf ~code:"MF007"
+            ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+            "DFT channel %s is listed twice (overlapping augmentation)" (edge_str grid e)
+          :: !out
+      else Hashtbl.add seen e ();
+      (match Chip.valve_on chip e with
+       | Some v when v.is_dft -> ()
+       | Some v ->
+         out :=
+           Diag.errorf ~code:"MF007"
+             ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+             "DFT channel %s carries original valve v%d instead of a DFT valve"
+             (edge_str grid e) v.valve_id
+           :: !out
+       | None ->
+         out :=
+           Diag.errorf ~code:"MF007"
+             ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+             "DFT channel %s carries no valve (augmentation must add one per edge)"
+             (edge_str grid e)
+           :: !out);
+      if not (Chip.is_channel chip e) then
+        out :=
+          Diag.errorf ~code:"MF007"
+            ~subject:(Printf.sprintf "edge %s" (edge_str grid e))
+            "DFT edge %s is not a channel" (edge_str grid e)
+          :: !out)
+    (Chip.dft_edges chip);
+  List.rev !out
+
+(* MF008: control-line numbering. *)
+let control_lines chip =
+  let n = Chip.n_controls chip in
+  let used = Array.make (max n 1) false in
+  let out = ref [] in
+  Array.iter
+    (fun (v : Chip.valve) ->
+      if v.control < 0 || v.control >= n then
+        out :=
+          Diag.errorf ~code:"MF008"
+            ~subject:(Printf.sprintf "valve v%d" v.valve_id)
+            "valve v%d is driven by control line %d outside [0, %d)" v.valve_id v.control n
+          :: !out
+      else used.(v.control) <- true)
+    (Chip.valves chip);
+  if Array.length (Chip.valves chip) > 0 then
+    for line = 0 to n - 1 do
+      if not used.(line) then
+        out :=
+          Diag.warningf ~code:"MF008"
+            ~subject:(Printf.sprintf "control line %d" line)
+            "control line %d drives no valve (sparse numbering wastes a control port)" line
+          :: !out
+    done;
+  List.rev !out
+
+(* MF009: stuck-at-1 testability — closing all valves must separate every
+   pair of ports (re-proof of the [Chip.finish] invariant). *)
+let separability chip =
+  let g = Grid.graph (Chip.grid chip) in
+  let channels = Chip.channel_edges chip in
+  let allowed e = Bitset.mem channels e && Chip.valve_on chip e = None in
+  let ports = Chip.ports chip in
+  let out = ref [] in
+  for i = 0 to Array.length ports - 1 do
+    for j = i + 1 to Array.length ports - 1 do
+      if Traverse.connected g ~allowed ports.(i).node ports.(j).node then
+        out :=
+          Diag.warningf ~code:"MF009"
+            ~subject:(Printf.sprintf "ports %s/%s" ports.(i).port_name ports.(j).port_name)
+            "ports %s and %s stay connected with every valve closed (stuck-at-1 untestable)"
+            ports.(i).port_name ports.(j).port_name
+          :: !out
+    done
+  done;
+  List.rev !out
+
+let chip c =
+  Mf_util.Diag.by_severity
+    (duplicates c @ ports_wired c @ valves_on_channels c @ dangling c @ reachability c
+    @ coordinates c @ dft_consistent c @ control_lines c @ separability c)

@@ -1,0 +1,30 @@
+(** Chip netlist linter: structural checks over a frozen {!Mf_arch.Chip.t},
+    independent of the builder's own validation (belt and braces — the
+    linter re-proves what [Chip.finish] promised, and catches states that
+    the builder cannot see, like floating channel islands or dead-end
+    channel stubs).
+
+    Codes (see DESIGN.md §9 for the catalog):
+    - [MF001] (error) duplicate placement: two devices/ports on one node,
+      or two valves on one edge;
+    - [MF002] (error) fewer than two ports, or a port with no incident
+      channel;
+    - [MF003] (error) a valve on an edge that carries no channel;
+    - [MF004] (warning) dangling channel: an unvalved dead-end channel edge
+      that is not a valve-enclosed storage pocket and ends at neither a
+      port nor a device;
+    - [MF005] (error) port or device unreachable through the channel
+      network; (warning) channel edge in a component touching no port;
+    - [MF006] (error) degenerate grid coordinates: an entity placed outside
+      the grid, or a channel/valve edge joining non-adjacent nodes;
+    - [MF007] (error) inconsistent DFT augmentation: duplicate DFT edges
+      (a DFT channel overlapping another channel collapses to this), or a
+      DFT edge without its DFT valve;
+    - [MF008] (error) a valve's control line outside [0, n_controls);
+      (warning) a control line id that drives no valve (sparse numbering
+      wastes a control port);
+    - [MF009] (warning) closing every valve leaves two ports connected, so
+      stuck-at-1 defects on that route are untestable. *)
+
+val chip : Mf_arch.Chip.t -> Mf_util.Diag.t list
+(** All lint findings, errors first. *)

@@ -1,0 +1,6 @@
+let certificate chip cert =
+  Mf_util.Diag.by_severity
+    (Lint.chip chip @ Cert.check chip cert @ Conflict.suite chip cert.Cert.suite)
+
+let chip_and_schedule chip sched =
+  Mf_util.Diag.by_severity (Lint.chip chip @ Conflict.schedule chip sched)

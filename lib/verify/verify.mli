@@ -1,0 +1,12 @@
+(** Top-level entry points combining the three analyses.  See {!Lint},
+    {!Cert} and {!Conflict} for the individual passes and their codes. *)
+
+val certificate : Mf_arch.Chip.t -> Cert.t -> Mf_util.Diag.t list
+(** Lint the chip, re-prove the certificate, and scan its vectors for
+    control-sharing conflicts — everything [dft_tool verify] reports,
+    errors first. *)
+
+val chip_and_schedule :
+  Mf_arch.Chip.t -> Mf_sched.Schedule.t -> Mf_util.Diag.t list
+(** Lint the chip and scan a schedule's event log for shared-line
+    hazards. *)
