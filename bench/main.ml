@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- ablate       -- design-choice ablations
      dune exec bench/main.exe -- chaos        -- codesign matrix under fault injection
      dune exec bench/main.exe -- verify       -- static-verification overhead vs generation
+     dune exec bench/main.exe -- perf         -- LP-core counters, gated vs BENCH_ilp.json
+     dune exec bench/main.exe -- perf-baseline -- rewrite the BENCH_ilp.json baseline
 
    Absolute times differ from the paper (different workload realisations and
    a simulated substrate); the comparisons that matter are the shapes:
@@ -438,6 +440,97 @@ let verify_bench () =
     Benchmarks.names
 
 (* ------------------------------------------------------------------ *)
+(* Perf-regression harness for the LP core: one pool build per benchmark
+   chip (the ILP-heavy stage feeding every chip x assay codesign run),
+   counters from the process-wide solver telemetry, machine-readable
+   output gated against the committed BENCH_ilp.json baseline. *)
+
+let perf_measure () =
+  let params = Codesign.quick_params in
+  List.map
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      Mf_lp.Simplex.Stats.reset ();
+      Mf_ilp.Ilp.Stats.reset ();
+      let rng = Rng.create ~seed:params.Codesign.seed in
+      let t0 = Unix.gettimeofday () in
+      let pool =
+        Domain_pool.with_pool ~jobs (fun domains ->
+            Pool.build ~size:params.Codesign.pool_size
+              ~node_limit:params.Codesign.ilp_node_limit ~domains ~rng chip)
+      in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let objectives =
+        match pool with
+        | Error _ -> []
+        | Ok pool -> Array.to_list (Pool.attempt_objectives pool)
+      in
+      {
+        Perf_json.chip = chip_name;
+        wall_ms;
+        pivots = Mf_lp.Simplex.Stats.pivots ();
+        dual_pivots = Atomic.get Mf_lp.Simplex.Stats.dual_pivots;
+        nodes = Atomic.get Mf_ilp.Ilp.Stats.nodes;
+        warm_eligible = Atomic.get Mf_ilp.Ilp.Stats.warm_eligible;
+        warm_taken = Atomic.get Mf_ilp.Ilp.Stats.warm_taken;
+        cache_hits = Atomic.get Mf_ilp.Ilp.Stats.cache_hits;
+        phase1_solves = Atomic.get Mf_lp.Simplex.Stats.phase1_solves;
+        objectives;
+      })
+    chips
+
+let baseline_path = "BENCH_ilp.json"
+
+let perf ~write_baseline () =
+  Format.printf "@.== Perf: LP core on the pool-build matrix (pools are per-chip; each@.";
+  Format.printf "   feeds all of ivd/pid/cpa) — %d job%s ==@.@." jobs (if jobs = 1 then "" else "s");
+  let entries = perf_measure () in
+  Format.printf "%-12s %10s %10s %8s %7s %7s %7s %7s@." "chip" "wall[ms]" "pivots" "dual"
+    "nodes" "warm%" "cache" "phase1";
+  List.iter
+    (fun (e : Perf_json.entry) ->
+      Format.printf "%-12s %10.0f %10d %8d %7d %6.1f%% %7d %7d@." e.Perf_json.chip
+        e.Perf_json.wall_ms e.Perf_json.pivots e.Perf_json.dual_pivots e.Perf_json.nodes
+        (if e.Perf_json.warm_eligible = 0 then 0.
+         else
+           100. *. float_of_int e.Perf_json.warm_taken
+           /. float_of_int e.Perf_json.warm_eligible)
+        e.Perf_json.cache_hits e.Perf_json.phase1_solves)
+    entries;
+  let doc = { Perf_json.jobs; entries } in
+  if write_baseline then begin
+    Perf_json.save baseline_path doc;
+    Format.printf "@.baseline written to %s@." baseline_path
+  end
+  else begin
+    match Perf_json.load baseline_path with
+    | Error msg ->
+      Format.printf "@.no usable baseline (%s); run `bench -- perf-baseline` to create one@."
+        msg
+    | Ok baseline ->
+      let sum f = List.fold_left (fun acc e -> acc + f e) 0 in
+      let sumf f = List.fold_left (fun acc e -> acc +. f e) 0. in
+      let b_pivots = sum (fun (e : Perf_json.entry) -> e.Perf_json.pivots) baseline.Perf_json.entries in
+      let c_pivots = sum (fun (e : Perf_json.entry) -> e.Perf_json.pivots) entries in
+      let b_wall = sumf (fun (e : Perf_json.entry) -> e.Perf_json.wall_ms) baseline.Perf_json.entries in
+      let c_wall = sumf (fun (e : Perf_json.entry) -> e.Perf_json.wall_ms) entries in
+      Format.printf "@.vs baseline (%s): pivots %d -> %d (%.2fx), wall %.0f ms -> %.0f ms (%.2fx)@."
+        baseline_path b_pivots c_pivots
+        (float_of_int b_pivots /. float_of_int (max 1 c_pivots))
+        b_wall c_wall
+        (b_wall /. max 1. c_wall);
+      let failures, notes = Perf_json.compare_against ~baseline doc in
+      List.iter (fun m -> Format.printf "note: %s@." m) notes;
+      (match failures with
+       | [] -> Format.printf "perf gate: PASS (within %.0f%% of baseline, objectives no worse)@."
+                 ((Perf_json.tolerance -. 1.) *. 100.)
+       | failures ->
+         Format.printf "perf gate: FAIL@.";
+         List.iter (fun m -> Format.printf "  - %s@." m) failures;
+         exit 1)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
 
 let micro () =
@@ -527,6 +620,10 @@ let () =
   if needs_rows && wants "fig8" then print_fig8 rows;
   if needs_rows && wants "fig9" then print_fig9 rows;
   if wants "ablate" then print_ablations ();
+  (* perf is explicit-only: its regression gate compares wall-clock against
+     a committed baseline and exits nonzero on failure *)
+  if List.mem "perf" args then perf ~write_baseline:false ();
+  if List.mem "perf-baseline" args then perf ~write_baseline:true ();
   (* chaos is opt-in only: it deliberately breaks determinism *)
   if List.mem "chaos" args then chaos_bench ();
   if List.mem "verify" args || List.mem "all" args then verify_bench ();

@@ -1,0 +1,270 @@
+(* Machine-readable record of one [bench -- perf] run, plus the committed
+   baseline it is gated against (BENCH_ilp.json).
+
+   The repo deliberately carries no JSON dependency, so this module ships a
+   writer and a small recursive-descent parser for exactly the subset the
+   schema uses: objects, arrays, strings (escaped quote and backslash only),
+   numbers and null. *)
+
+type entry = {
+  chip : string;
+  wall_ms : float;
+  pivots : int; (* primal + dual *)
+  dual_pivots : int;
+  nodes : int;
+  warm_eligible : int;
+  warm_taken : int;
+  cache_hits : int;
+  phase1_solves : int;
+  objectives : float option list; (* per pool attempt; None = attempt failed *)
+}
+
+type doc = { jobs : int; entries : entry list }
+
+let schema = "mfdft-bench-ilp-v1"
+
+(* ------------------------------------------------------------------ *)
+(* writer *)
+
+let save path doc =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" schema doc.jobs;
+  List.iteri
+    (fun i e ->
+      out "    {\"chip\": \"%s\", \"wall_ms\": %.1f, \"pivots\": %d, \"dual_pivots\": %d,\n"
+        e.chip e.wall_ms e.pivots e.dual_pivots;
+      out "     \"nodes\": %d, \"warm_eligible\": %d, \"warm_taken\": %d, \"cache_hits\": %d,\n"
+        e.nodes e.warm_eligible e.warm_taken e.cache_hits;
+      out "     \"phase1_solves\": %d,\n     \"objectives\": [%s]}%s\n" e.phase1_solves
+        (String.concat ", "
+           (List.map
+              (function None -> "null" | Some o -> Printf.sprintf "%.6f" o)
+              e.objectives))
+        (if i = List.length doc.entries - 1 then "" else ","))
+    doc.entries;
+  out "  ]\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* parser *)
+
+type json =
+  | J_null
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some (('"' | '\\') as c) ->
+           Buffer.add_char b c;
+           advance ();
+           go ()
+         | _ -> fail "unsupported escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_arr (items [])
+      end
+    | Some 'n' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+        pos := !pos + 4;
+        J_null
+      end
+      else fail "expected null"
+    | Some ('0' .. '9' | '-') -> J_num (parse_number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | J_obj kvs ->
+    (match List.assoc_opt name kvs with
+     | Some v -> v
+     | None -> raise (Bad ("missing field " ^ name)))
+  | _ -> raise (Bad ("not an object looking for " ^ name))
+
+let as_num = function J_num f -> f | _ -> raise (Bad "expected number")
+let as_int j = int_of_float (as_num j)
+let as_str = function J_str s -> s | _ -> raise (Bad "expected string")
+let as_arr = function J_arr l -> l | _ -> raise (Bad "expected array")
+
+let load path : (doc, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match parse text with
+    | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | j ->
+      (match
+         let s = as_str (field "schema" j) in
+         if s <> schema then raise (Bad ("unknown schema " ^ s));
+         let entry e =
+           {
+             chip = as_str (field "chip" e);
+             wall_ms = as_num (field "wall_ms" e);
+             pivots = as_int (field "pivots" e);
+             dual_pivots = as_int (field "dual_pivots" e);
+             nodes = as_int (field "nodes" e);
+             warm_eligible = as_int (field "warm_eligible" e);
+             warm_taken = as_int (field "warm_taken" e);
+             cache_hits = as_int (field "cache_hits" e);
+             phase1_solves = as_int (field "phase1_solves" e);
+             objectives =
+               List.map
+                 (function J_null -> None | v -> Some (as_num v))
+                 (as_arr (field "objectives" e));
+           }
+         in
+         { jobs = as_int (field "jobs" j); entries = List.map entry (as_arr (field "entries" j)) }
+       with
+       | doc -> Ok doc
+       | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* ------------------------------------------------------------------ *)
+(* regression gate *)
+
+(* Wall-clock and node counts may regress by at most this factor against
+   the committed baseline.  Objectives must be no worse than baseline to
+   1e-6: attempts both engines prove optimal are necessarily identical;
+   attempts truncated by the node budget are trajectory-dependent, so a
+   *better* incumbent is reported as a note, never a failure.  Returns
+   (failures, notes); the run passes when failures is empty. *)
+let tolerance = 1.25
+
+let compare_against ~(baseline : doc) (current : doc) : string list * string list =
+  let failures = ref [] in
+  let notes = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  List.iter
+    (fun (b : entry) ->
+      match List.find_opt (fun e -> e.chip = b.chip) current.entries with
+      | None -> fail "%s: missing from current run" b.chip
+      | Some e ->
+        if e.wall_ms > (tolerance *. b.wall_ms) +. 50. then
+          fail "%s: wall-clock regression %.0f ms -> %.0f ms (>%.0f%% over baseline)" b.chip
+            b.wall_ms e.wall_ms ((tolerance -. 1.) *. 100.);
+        if float_of_int e.nodes > (tolerance *. float_of_int b.nodes) +. 5. then
+          fail "%s: node-count regression %d -> %d (>%.0f%% over baseline)" b.chip b.nodes
+            e.nodes
+            ((tolerance -. 1.) *. 100.);
+        if List.length e.objectives <> List.length b.objectives then
+          fail "%s: %d pool attempts vs %d in baseline" b.chip (List.length e.objectives)
+            (List.length b.objectives)
+        else
+          List.iteri
+            (fun i (bo, eo) ->
+              match (bo, eo) with
+              | None, None -> ()
+              | Some bo, Some eo when abs_float (bo -. eo) <= 1e-6 -> ()
+              | Some bo, Some eo when eo < bo ->
+                note "%s: attempt %d objective improved %.6f -> %.6f" b.chip i bo eo
+              | Some bo, Some eo ->
+                fail "%s: attempt %d objective regressed %.6f -> %.6f" b.chip i bo eo
+              | Some _, None -> fail "%s: attempt %d succeeded in baseline, failed now" b.chip i
+              | None, Some _ -> note "%s: attempt %d failed in baseline, succeeds now" b.chip i)
+            (List.combine b.objectives e.objectives))
+    baseline.entries;
+  (List.rev !failures, List.rev !notes)

@@ -138,6 +138,13 @@ let deadline_arg =
           "Wall-clock budget in seconds. When it expires, solvers degrade gracefully and \
            return their best feasible result so far instead of failing.")
 
+(* [MFDFT_PROF=1] per-stage wall-time/pivot breakdown, printed to stderr
+   after the solver-heavy commands; a no-op otherwise *)
+let prof_dump () =
+  match Mf_util.Prof.report () with
+  | None -> ()
+  | Some table -> Format.eprintf "@.== MFDFT_PROF stage breakdown ==@.%s@." table
+
 let testgen_cmd =
   let run chip node_limit deadline =
     let budget = Option.map Mf_util.Budget.of_seconds deadline in
@@ -164,6 +171,7 @@ let testgen_cmd =
       Format.printf "%s@." (Chip.render aug);
       let report = Vectors.validate aug suite in
       Format.printf "fault simulation: %a@." Mf_faults.Coverage.pp report;
+      prof_dump ();
       if not (Mf_faults.Coverage.complete report) then exit 2
   in
   let node_limit =
@@ -271,6 +279,7 @@ let codesign_cmd =
        | Some path ->
          Mfdft.Report.save path r;
          Format.printf "report written to %s@." path);
+      prof_dump ();
       if n_err > 0 then exit 2
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale PSO budgets (100 iterations).") in

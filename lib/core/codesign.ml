@@ -146,7 +146,7 @@ let cache_restore cache items = Array.iter (fun (k, v) -> Hashtbl.replace cache.
    baseline scans it) and the evaluation counter.  Plain data only, so
    [Marshal] round-trips it; loadable by binaries built from the same
    sources. *)
-let snapshot_magic = "mfdft-codesign-checkpoint-v1"
+let snapshot_magic = "mfdft-codesign-checkpoint-v2"
 
 type snapshot = {
   ck_magic : string;
@@ -302,7 +302,9 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
     let cache = cache_create () in
     let fitness_of entry scheme =
       Atomic.incr evaluations;
-      sharing_fitness cache params app entry scheme
+      Mf_util.Prof.add_count "codesign.fitness" 1;
+      Mf_util.Prof.time "codesign.fitness" (fun () ->
+          sharing_fitness cache params app entry scheme)
     in
     (* inner PSO: best sharing scheme for a fixed configuration, searching
        inside the per-valve feasible partner sets.  Self-contained once the
@@ -408,9 +410,10 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
     in
     let outcome =
       match
-        Pso.run_batch ~params:params.outer ?budget ?checkpoint:hook
-          ?resume:(Option.map (fun s -> s.ck_pso) resume_snap) ~rng:outer_rng ~dim:outer_dim
-          ~batch_fitness:outer_batch ()
+        Mf_util.Prof.time "codesign.pso" (fun () ->
+            Pso.run_batch ~params:params.outer ?budget ?checkpoint:hook
+              ?resume:(Option.map (fun s -> s.ck_pso) resume_snap) ~rng:outer_rng
+              ~dim:outer_dim ~batch_fitness:outer_batch ())
       with
       | outcome -> Ok outcome
       | exception Stop_after_checkpoint it ->

@@ -15,15 +15,22 @@ type entry = {
 
 type reject = { rejected_config : Pathgen.config; escaped : int; malformed : int }
 
-type t = { entries : entry array; free_edges : int array; rejects : reject list }
+type t = {
+  entries : entry array;
+  free_edges : int array;
+  rejects : reject list;
+  attempt_objectives : float option array;
+}
 
 let entries t = t.entries
 let size t = Array.length t.entries
 
 let free_edges t = t.free_edges
 let rejects t = t.rejects
+let attempt_objectives t = t.attempt_objectives
 
 let materialise chip (config : Pathgen.config) =
+  Mf_util.Prof.time "pool.materialise" @@ fun () ->
   let augmented = Pathgen.apply chip config in
   let cuts = Cutgen.generate augmented ~source:config.src_port ~meter:config.dst_port in
   let suite = Vectors.of_config config cuts in
@@ -42,6 +49,7 @@ let materialise chip (config : Pathgen.config) =
       }
 
 let build ?(size = 8) ?(node_limit = 20_000) ?domains ?budget ~rng chip =
+  Mf_util.Prof.time "pool.build" @@ fun () ->
   let n_edges = Grid.n_edges (Chip.grid chip) in
   let channels = Chip.channel_edges chip in
   let free =
@@ -63,7 +71,12 @@ let build ?(size = 8) ?(node_limit = 20_000) ?domains ?budget ~rng chip =
     | Error _ -> None
     | Ok config ->
       let key = String.concat "," (List.map string_of_int config.added_edges) in
-      Some (key, materialise chip config)
+      (* the attempt's achieved objective (5): total weight of added edges —
+         the invariant the perf-regression harness pins across LP engines *)
+      let objective =
+        List.fold_left (fun acc e -> acc +. weights e) 0. config.added_edges
+      in
+      Some (key, objective, materialise chip config)
   in
   let candidates =
     match domains with
@@ -74,12 +87,13 @@ let build ?(size = 8) ?(node_limit = 20_000) ?domains ?budget ~rng chip =
         (fun w -> if Mf_util.Budget.over budget then None else solve w)
         weightss
   in
+  let attempt_objectives = Array.map (Option.map (fun (_, o, _) -> o)) candidates in
   let seen = Hashtbl.create 8 in
   let pool = ref [] in
   let rejected = ref [] in
   let consider = function
     | None -> ()
-    | Some (key, outcome) ->
+    | Some (key, _objective, outcome) ->
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
         match outcome with
@@ -96,7 +110,10 @@ let build ?(size = 8) ?(node_limit = 20_000) ?domains ?budget ~rng chip =
      (match Pathgen.generate ~node_limit:0 chip with
       | Ok config ->
         consider
-          (Some (String.concat "," (List.map string_of_int config.added_edges), materialise chip config))
+          (Some
+             ( String.concat "," (List.map string_of_int config.added_edges),
+               float_of_int (List.length config.added_edges),
+               materialise chip config ))
       | Error _ -> ())
    | _ :: _ -> ());
   match List.rev !pool with
@@ -113,7 +130,13 @@ let build ?(size = 8) ?(node_limit = 20_000) ?domains ?budget ~rng chip =
     in
     Error (Mf_util.Fail.v Mf_util.Fail.Pool reason)
   | entries ->
-    Ok { entries = Array.of_list entries; free_edges = free; rejects = List.rev !rejected }
+    Ok
+      {
+        entries = Array.of_list entries;
+        free_edges = free;
+        rejects = List.rev !rejected;
+        attempt_objectives;
+      }
 
 let decode t position =
   let pref = Hashtbl.create 32 in

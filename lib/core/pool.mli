@@ -64,6 +64,13 @@ val rejects : t -> reject list
 val free_edges : t -> int array
 (** Grid edges unoccupied in the original chip — the outer PSO dimensions. *)
 
+val attempt_objectives : t -> float option array
+(** Per ILP attempt (in attempt order, before deduplication), the achieved
+    objective (5) — the total weight of the configuration's added edges
+    under that attempt's weights — or [None] when the attempt failed or was
+    skipped.  Invariant across LP engines and job counts; the perf-regression
+    harness pins these against its committed baseline. *)
+
 val decode : t -> float array -> entry
 (** [decode pool position] scores each entry by the summed preference of
     its added edges (position is indexed like {!free_edges}) and returns

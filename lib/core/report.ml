@@ -61,6 +61,13 @@ let markdown ?(title = "DFT codesign report") (r : Codesign.result) =
   out "| DFT + sharing, after two-level PSO | %s |\n\n" (opt_time r.exec_final);
   out "## Optimization\n\n";
   out "- %d fitness evaluations, %.1f s wall clock\n" r.evaluations r.runtime;
+  let s = r.config.Mf_testgen.Pathgen.solver in
+  out
+    "- LP core (final configuration): %d B&B nodes, %d primal + %d dual pivots, %d/%d \
+     relaxations warm-started (%d cold fallbacks), %d cache hits\n"
+    s.Mf_ilp.Ilp.rs_nodes s.Mf_ilp.Ilp.rs_primal_pivots s.Mf_ilp.Ilp.rs_dual_pivots
+    s.Mf_ilp.Ilp.rs_warm_taken s.Mf_ilp.Ilp.rs_warm_eligible s.Mf_ilp.Ilp.rs_fallbacks
+    s.Mf_ilp.Ilp.rs_cache_hits;
   let valid = List.filter (fun v -> v < Codesign.invalid_threshold) r.trace in
   (match valid with
    | [] -> out "- the swarm never found a valid sharing scheme\n"

@@ -5,10 +5,43 @@ type var = Lp.var
 
 type relation = Lp.relation = Le | Ge | Eq
 
+type run_stats = {
+  rs_nodes : int;
+  rs_warm_eligible : int;
+  rs_warm_taken : int;
+  rs_fallbacks : int;
+  rs_cache_hits : int;
+  rs_primal_pivots : int;
+  rs_dual_pivots : int;
+}
+
+let zero_stats =
+  {
+    rs_nodes = 0;
+    rs_warm_eligible = 0;
+    rs_warm_taken = 0;
+    rs_fallbacks = 0;
+    rs_cache_hits = 0;
+    rs_primal_pivots = 0;
+    rs_dual_pivots = 0;
+  }
+
+let add_stats a b =
+  {
+    rs_nodes = a.rs_nodes + b.rs_nodes;
+    rs_warm_eligible = a.rs_warm_eligible + b.rs_warm_eligible;
+    rs_warm_taken = a.rs_warm_taken + b.rs_warm_taken;
+    rs_fallbacks = a.rs_fallbacks + b.rs_fallbacks;
+    rs_cache_hits = a.rs_cache_hits + b.rs_cache_hits;
+    rs_primal_pivots = a.rs_primal_pivots + b.rs_primal_pivots;
+    rs_dual_pivots = a.rs_dual_pivots + b.rs_dual_pivots;
+  }
+
 type t = {
   lp : Lp.t;
   mutable binaries : var list; (* reversed *)
   mutable nodes_explored : int;
+  mutable last_stats : run_stats;
 }
 
 type solution = { objective : float; values : float array }
@@ -18,12 +51,30 @@ type outcome =
   | Feasible of solution
   | Infeasible
   | Node_limit
+  | Failed of Mf_util.Fail.t
 
 type lazy_cut = (float * var) list * relation * float
 
-let create () = { lp = Lp.create (); binaries = []; nodes_explored = 0 }
+(* Process-wide branch-and-bound telemetry, mirroring {!Mf_lp.Simplex.Stats}:
+   atomic counters bumped from any domain, read/reset by [bench -- perf].
+   [warm_eligible] counts non-root nodes that arrived with a usable warm
+   basis; [warm_taken] those whose relaxation the dual simplex actually
+   re-optimised from it. *)
+module Stats = struct
+  let nodes = Atomic.make 0
+  let warm_eligible = Atomic.make 0
+  let warm_taken = Atomic.make 0
+  let cache_hits = Atomic.make 0
+
+  let all = [ nodes; warm_eligible; warm_taken; cache_hits ]
+  let reset () = List.iter (fun a -> Atomic.set a 0) all
+end
+
+let create () =
+  { lp = Lp.create (); binaries = []; nodes_explored = 0; last_stats = zero_stats }
 
 let nodes_explored t = t.nodes_explored
+let last_stats t = t.last_stats
 
 let add_binary ?(obj = 0.) t =
   let v = Lp.add_var ~lower:0. ~upper:1. ~obj t.lp in
@@ -39,15 +90,41 @@ let add_row t terms rel rhs = Lp.add_row t.lp terms rel rhs
 
 let int_tol = 1e-6
 
-(* A node is a set of branching decisions on binary variables.  Best-first
-   on the parent LP bound, with a small depth bonus so ties resolve as a
-   dive (reaches integral incumbents quickly). *)
-type node = { fixings : (var * float) list; bound : float }
+(* A node is a set of branching decisions on binary variables, plus the
+   optimal basis of the relaxation that spawned it: after the one bound
+   change of a branching step the parent basis stays dual-feasible, so the
+   child's relaxation re-optimises warmly with the dual simplex instead of
+   running two cold phases.  Best-first on the parent LP bound, with a
+   small depth bonus so ties resolve as a dive (reaches integral incumbents
+   quickly). *)
+type node = { fixings : (var * float) list; bound : float; parent : Lp.basis option }
 
 let node_priority bound depth = bound -. (1e-7 *. float_of_int depth)
 
+(* Relaxation results cached per solve, keyed by the canonical fixing set.
+   An entry whose row count still matches answers an identical subproblem
+   outright (no LP solve); one made stale by lazy cuts still seeds the
+   re-solve with its basis — the cut rows extend it block-triangularly
+   inside {!Mf_lp.Lp}.  Values are copied in and out because branching
+   rounds candidate arrays in place. *)
+type cache_entry = {
+  ce_rows : int;
+  ce_obj : float;
+  ce_values : float array;
+  ce_basis : Lp.basis option;
+}
+
+let cache_cap = 1024
+
+let cache_key fixings =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare (a : int) b) fixings in
+  String.concat ";"
+    (List.map (fun (v, x) -> Printf.sprintf "%d:%.0f" v x) sorted)
+
+exception Abort of Mf_util.Fail.t
+
 let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
-    ?(branch_priority = fun _ -> 0) ?(upper_bound = infinity) t =
+    ?(branch_priority = fun _ -> 0) ?(upper_bound = infinity) ?(warm = true) t =
   (* Fault injection: truncate the node budget so callers exercise their
      [Node_limit]/[Feasible] handling on real models. *)
   let node_limit =
@@ -57,13 +134,15 @@ let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
   let incumbent = ref None in
   let incumbent_obj = ref upper_bound in
   let heap : node Heap.t = Heap.create () in
-  Heap.push heap neg_infinity { fixings = []; bound = neg_infinity };
+  Heap.push heap neg_infinity { fixings = []; bound = neg_infinity; parent = None };
   let nodes = ref 0 in
   let truncated = ref false in
   (* set when a relaxation came back without a proven bound (budget ran out
      mid-solve, or numerical distress): the search stays sound for
      feasibility but can no longer certify optimality *)
   let weakened = ref false in
+  let stats = ref zero_stats in
+  let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 64 in
   let fix_of fixings v = List.assoc_opt v fixings in
   let most_fractional values =
     let best = ref (-1) in
@@ -84,6 +163,55 @@ let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
       binaries;
     !best
   in
+  (* Solve (or recall) one node's relaxation.  Returns the Lp result plus
+     the basis to hand to children. *)
+  let relax node =
+    let key = if warm then cache_key node.fixings else "" in
+    let cached = if warm then Hashtbl.find_opt cache key else None in
+    match cached with
+    | Some ce when ce.ce_rows = Lp.n_rows t.lp ->
+      Atomic.incr Stats.cache_hits;
+      stats := { !stats with rs_cache_hits = !stats.rs_cache_hits + 1 };
+      (Lp.Optimal { objective = ce.ce_obj; values = Array.copy ce.ce_values }, ce.ce_basis)
+    | cached ->
+      let seed =
+        if not warm then None
+        else
+          match cached with
+          | Some { ce_basis = Some b; _ } -> Some b (* stale entry: same fixings *)
+          | _ -> node.parent
+      in
+      if node.fixings <> [] && seed <> None then begin
+        Atomic.incr Stats.warm_eligible;
+        stats := { !stats with rs_warm_eligible = !stats.rs_warm_eligible + 1 }
+      end;
+      let rel, basis, info =
+        Lp.solve_b ?budget ~fix:(fix_of node.fixings) ?warm:seed t.lp
+      in
+      stats :=
+        {
+          !stats with
+          rs_primal_pivots = !stats.rs_primal_pivots + info.Lp.primal_pivots;
+          rs_dual_pivots = !stats.rs_dual_pivots + info.Lp.dual_pivots;
+          rs_fallbacks = (!stats.rs_fallbacks + if info.Lp.fell_back then 1 else 0);
+        };
+      if info.Lp.warm then begin
+        Atomic.incr Stats.warm_taken;
+        stats := { !stats with rs_warm_taken = !stats.rs_warm_taken + 1 }
+      end;
+      (match rel with
+       | Lp.Optimal { objective; values } when warm && Hashtbl.length cache < cache_cap
+         ->
+         Hashtbl.replace cache key
+           {
+             ce_rows = Lp.n_rows t.lp;
+             ce_obj = objective;
+             ce_values = Array.copy values;
+             ce_basis = basis;
+           }
+       | _ -> ());
+      (rel, basis)
+  in
   let debug = Sys.getenv_opt "MFDFT_ILP_DEBUG" <> None in
   let t_start = Sys.time () in
   let rec best_first () =
@@ -94,10 +222,12 @@ let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
       | Some (_, node) ->
         if node.bound < !incumbent_obj -. 1e-9 then begin
           incr nodes;
+          Atomic.incr Stats.nodes;
+          stats := { !stats with rs_nodes = !stats.rs_nodes + 1 };
           if debug && !nodes mod 20 = 0 then
             Printf.eprintf "[ilp] nodes=%d rows=%d vars=%d incumbent=%g elapsed=%.1fs\n%!" !nodes
               (Lp.n_rows t.lp) (Lp.n_vars t.lp) !incumbent_obj (Sys.time () -. t_start);
-          let rel = Lp.solve ?budget ~fix:(fix_of node.fixings) t.lp in
+          let rel, basis = relax node in
           match rel with
           | Lp.Infeasible -> best_first ()
           | Lp.Iter_limit | Lp.Numerical _ ->
@@ -106,7 +236,14 @@ let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
                is heuristic, so optimality can no longer be certified *)
             weakened := true;
             best_first ()
-          | Lp.Unbounded -> failwith "Ilp.solve: LP relaxation unbounded"
+          | Lp.Unbounded ->
+            (* an unbounded relaxation is a model defect, not a resource
+               outcome: surface it as a typed failure so callers can degrade
+               instead of crashing *)
+            raise
+              (Abort
+                 (Mf_util.Fail.v ~nodes:!nodes Mf_util.Fail.Ilp
+                    "LP relaxation unbounded"))
           | Lp.Optimal { objective; values } | Lp.Feasible { objective; values } ->
             (match rel with Lp.Feasible _ -> weakened := true | _ -> ());
             if objective >= !incumbent_obj -. 1e-9 then best_first ()
@@ -123,13 +260,23 @@ let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
                   best_first ()
                 | cuts ->
                   List.iter (fun (terms, rel, rhs) -> add_row t terms rel rhs) cuts;
-                  (* re-explore this subproblem under the new cuts *)
-                  Heap.push heap objective { node with bound = objective };
+                  (* re-explore this subproblem under the new cuts, seeded by
+                     the basis just proved optimal for it (the cut rows only
+                     extend it); same priority law as branching pushes *)
+                  let depth = List.length node.fixings in
+                  Heap.push heap
+                    (node_priority objective depth)
+                    {
+                      node with
+                      bound = objective;
+                      parent = (match basis with Some _ -> basis | None -> node.parent);
+                    };
                   best_first ()
               end
               else begin
                 let child x =
-                  { fixings = (branch_var, x) :: node.fixings; bound = objective }
+                  { fixings = (branch_var, x) :: node.fixings; bound = objective;
+                    parent = basis }
                 in
                 (* explore the branch matching the fractional value first *)
                 let first, second =
@@ -145,8 +292,14 @@ let solve ?(node_limit = 100_000) ?budget ?(lazy_cuts = fun _ -> [])
         end
         else best_first ()
   in
-  best_first ();
+  let failure =
+    match best_first () with () -> None | exception Abort f -> Some f
+  in
   t.nodes_explored <- !nodes;
-  match !incumbent with
-  | Some sol -> if !truncated || !weakened then Feasible sol else Optimal sol
-  | None -> if !truncated || !weakened then Node_limit else Infeasible
+  t.last_stats <- !stats;
+  match failure with
+  | Some f -> Failed f
+  | None -> (
+    match !incumbent with
+    | Some sol -> if !truncated || !weakened then Feasible sol else Optimal sol
+    | None -> if !truncated || !weakened then Node_limit else Infeasible)

@@ -3,7 +3,16 @@
 
     This is the solver behind the paper's DFT test-path formulation
     (constraints (1)–(4), objective (5)); the lazy callback implements the
-    loop-elimination cuts of Sec. 3 (analogous to subtour elimination). *)
+    loop-elimination cuts of Sec. 3 (analogous to subtour elimination).
+
+    Each node carries the optimal basis of the relaxation that spawned it:
+    branching only changes one variable's bounds and lazy cuts only append
+    rows, so the child relaxation re-optimises from that basis with the
+    dual simplex instead of solving cold (see {!Mf_lp.Lp.solve_b}).  A
+    bounded per-solve cache keyed by fixing set recalls relaxations
+    re-visited after cut installation.  Neither mechanism changes any
+    result — only the work done — and both can be disabled with
+    [~warm:false] for differential testing. *)
 
 type t
 type var = Mf_lp.Lp.var
@@ -21,6 +30,11 @@ type outcome =
           certified bound *)
   | Infeasible
   | Node_limit  (** budget exhausted with no incumbent *)
+  | Failed of Mf_util.Fail.t
+      (** the search cannot continue and the result is not a resource
+          outcome — today only an unbounded LP relaxation, which indicates
+          a defective model.  Typed so callers degrade per the resilience
+          ladder instead of crashing. *)
 
 val create : unit -> t
 
@@ -35,8 +49,47 @@ val add_row : t -> (float * var) list -> relation -> float -> unit
 
 type lazy_cut = (float * var) list * relation * float
 
+(** Process-wide branch-and-bound telemetry (see {!Mf_lp.Simplex.Stats}):
+    cumulative atomic counters, deterministic totals for any job count. *)
+module Stats : sig
+  val nodes : int Atomic.t
+
+  val warm_eligible : int Atomic.t
+  (** Non-root nodes whose relaxation had a usable warm basis (from the
+      parent node or the fixing-set cache). *)
+
+  val warm_taken : int Atomic.t
+  (** Relaxations the dual simplex re-optimised from a warm basis. *)
+
+  val cache_hits : int Atomic.t
+  (** Relaxations answered from the fixing-set cache without an LP solve. *)
+
+  val reset : unit -> unit
+end
+
+type run_stats = {
+  rs_nodes : int;  (** nodes expanded (cache-served nodes included) *)
+  rs_warm_eligible : int;
+  rs_warm_taken : int;
+  rs_fallbacks : int;  (** warm attempts that fell back to a cold solve *)
+  rs_cache_hits : int;
+  rs_primal_pivots : int;
+  rs_dual_pivots : int;
+}
+(** Effort accounting for a single {!solve} call — what {!Stats} counts
+    process-wide. *)
+
+val zero_stats : run_stats
+
+val add_stats : run_stats -> run_stats -> run_stats
+(** Field-wise sum, for aggregating across solves. *)
+
 val nodes_explored : t -> int
-(** LP relaxations solved during the most recent {!solve} call. *)
+(** Nodes expanded during the most recent {!solve} call (each is one LP
+    relaxation solve or one fixing-set cache hit). *)
+
+val last_stats : t -> run_stats
+(** Full effort breakdown of the most recent {!solve} call. *)
 
 val solve :
   ?node_limit:int ->
@@ -44,6 +97,7 @@ val solve :
   ?lazy_cuts:(solution -> lazy_cut list) ->
   ?branch_priority:(var -> int) ->
   ?upper_bound:float ->
+  ?warm:bool ->
   t ->
   outcome
 (** Best-first branch-and-bound.  Whenever an integral candidate is found,
@@ -61,4 +115,7 @@ val solve :
     [upper_bound] primes the incumbent objective for pruning: subtrees that
     cannot beat it are cut, and solutions no better than it are not
     reported — callers supplying a known feasible solution's value should
-    fall back to that solution when the outcome is [Infeasible]. *)
+    fall back to that solution when the outcome is [Infeasible].
+    [warm] (default true) enables warm-started relaxations and the
+    fixing-set cache; [~warm:false] forces every relaxation to solve cold —
+    results are identical either way. *)

@@ -1,8 +1,9 @@
 (** Incremental linear-program builder over {!Simplex}.
 
-    Rows may be inequalities; slack variables and conversion to the simplex
-    computational form happen at [solve] time.  The objective sense is
-    minimisation. *)
+    Rows may be inequalities; logical (slack/surplus) variables and
+    conversion to the simplex computational form happen at solve time, and
+    the compiled sparse model is cached across solves until the builder is
+    mutated.  The objective sense is minimisation. *)
 
 type t
 type var = int
@@ -23,6 +24,22 @@ type result =
       (** the simplex hit a numerically singular pivot; the message is the
           underlying diagnostic *)
 
+type basis
+(** A warm-start handle: the optimal basis of a previous {!solve_b} on this
+    builder (or on an earlier, smaller state of it).  Opaque; pass it back
+    via [?warm].  Remains usable after rows are appended — lazy cuts extend
+    the basis with their logicals basic — and under different [?fix]
+    functions, which is how branch-and-bound children reuse the parent
+    node's basis. *)
+
+type info = Simplex.info = {
+  primal_pivots : int;
+  dual_pivots : int;
+  warm : bool;  (** solved by dual re-optimisation of the warm basis *)
+  fell_back : bool;  (** a warm basis was supplied but abandoned *)
+}
+(** Per-solve effort accounting; see {!Simplex.info}. *)
+
 val create : unit -> t
 
 val add_var : ?lower:float -> ?upper:float -> ?obj:float -> t -> var
@@ -40,13 +57,31 @@ val add_row : t -> (float * var) list -> relation -> float -> unit
 
 val n_rows : t -> int
 
-val solve :
-  ?max_iters:int -> ?budget:Mf_util.Budget.t -> ?fix:(var -> float option) -> t -> result
+val solve_b :
+  ?max_iters:int ->
+  ?budget:Mf_util.Budget.t ->
+  ?fix:(var -> float option) ->
+  ?warm:basis ->
+  t ->
+  result * basis option * info
 (** Solve the LP (relaxation).  [fix v = Some x] clamps both bounds of [v]
     to [x] for this solve only — how branch-and-bound explores subproblems
     without rebuilding the model.  The builder is reusable: more rows and
     variables may be added after a solve and the model solved again, which
-    is how lazy loop-elimination constraints are injected.  [budget] bounds
-    wall-clock time; see {!Simplex.solve}.  Never raises: resource
-    exhaustion surfaces as [Feasible]/[Iter_limit] and numerical breakdown
-    as [Numerical]. *)
+    is how lazy loop-elimination constraints are injected.
+
+    [warm] re-optimises from a previously returned basis with the dual
+    simplex; when that breaks down the solve transparently restarts cold
+    and reports it in {!info} — supplying [warm] never changes the result,
+    only (usually) the effort.  The returned basis is [Some] exactly for
+    [Optimal] results whose basis is storable; it is independent of the
+    builder's later mutations.
+
+    [budget] bounds wall-clock time; see {!Simplex.solve}.  Never raises:
+    resource exhaustion surfaces as [Feasible]/[Iter_limit] and numerical
+    breakdown as [Numerical]. *)
+
+val solve :
+  ?max_iters:int -> ?budget:Mf_util.Budget.t -> ?fix:(var -> float option) -> t -> result
+(** [solve t] is [solve_b t] without the warm-start plumbing — kept for
+    callers that need only the result. *)

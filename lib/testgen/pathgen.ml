@@ -14,6 +14,7 @@ type config = {
   n_paths : int;
   ilp_nodes : int;
   loop_cuts : int;
+  solver : Ilp.run_stats;
   degraded : bool;
 }
 
@@ -329,7 +330,7 @@ let heuristic_cover chip ~weights ~s_node ~t_node =
   List.fold_left better None candidates
 
 let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(node_limit = 1_200)
-    ?budget chip =
+    ?budget ?(warm = true) chip =
   let auto_src, auto_dst = farthest_ports chip in
   let src_port = Option.value ~default:auto_src src_port in
   let dst_port = Option.value ~default:auto_dst dst_port in
@@ -339,7 +340,11 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
   let orig = Chip.channel_edges chip in
   let total_nodes = ref 0 in
   let total_cuts = ref 0 in
-  let heuristic = heuristic_cover chip ~weights ~s_node ~t_node in
+  let total_stats = ref Ilp.zero_stats in
+  let heuristic =
+    Mf_util.Prof.time "pathgen.heuristic" (fun () ->
+        heuristic_cover chip ~weights ~s_node ~t_node)
+  in
   let heuristic_cost =
     match heuristic with
     | None -> infinity
@@ -359,6 +364,7 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
           n_paths = List.length paths;
           ilp_nodes = !total_nodes;
           loop_cuts = !total_cuts;
+          solver = !total_stats;
           degraded = true;
         }
   in
@@ -372,7 +378,10 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
              (Printf.sprintf "no DFT configuration with at most %d test paths" max_paths))
     end
     else begin
-      let model = build_model chip ~weights ~k ~s_node ~t_node in
+      let model =
+        Mf_util.Prof.time "pathgen.build_model" (fun () ->
+            build_model chip ~weights ~k ~s_node ~t_node)
+      in
       let n_cuts = ref 0 in
       let lazy_cuts sol =
         let cuts = loop_cuts_of chip model ~s_node sol in
@@ -391,11 +400,16 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
          on; the budget grows with k where solutions are usually found *)
       let attempt_budget = min (node_limit - !total_nodes) (300 * (1 lsl (k - 2))) in
       let outcome =
-        Ilp.solve ~node_limit:(max 100 attempt_budget) ?budget ~lazy_cuts ~branch_priority
-          ~upper_bound:(heuristic_cost +. 1e-6) model.ilp
+        Mf_util.Prof.time "pathgen.ilp_solve" (fun () ->
+            Ilp.solve ~node_limit:(max 100 attempt_budget) ?budget ~lazy_cuts ~branch_priority
+              ~upper_bound:(heuristic_cost +. 1e-6) ~warm model.ilp)
       in
       total_cuts := !total_cuts + !n_cuts;
       total_nodes := !total_nodes + Ilp.nodes_explored model.ilp;
+      let st = Ilp.last_stats model.ilp in
+      total_stats := Ilp.add_stats !total_stats st;
+      Mf_util.Prof.add_count "pathgen.ilp_solve" st.Ilp.rs_nodes;
+      Mf_util.Prof.add_count "lp.pivots" (st.Ilp.rs_primal_pivots + st.Ilp.rs_dual_pivots);
       match outcome with
       | Ilp.Optimal sol | Ilp.Feasible sol ->
         let paths = extract_paths chip model ~s_node ~t_node sol in
@@ -414,9 +428,14 @@ let generate ?(weights = fun _ -> 1.) ?src_port ?dst_port ?(max_paths = 8) ?(nod
             n_paths = k;
             ilp_nodes = !total_nodes;
             loop_cuts = !total_cuts;
+            solver = !total_stats;
             degraded = false;
           }
       | Ilp.Infeasible | Ilp.Node_limit -> attempt (k + 1)
+      | Ilp.Failed _ ->
+        (* a typed solver failure (defective relaxation) degrades exactly
+           like an exhausted budget: try more paths, then the heuristic *)
+        attempt (k + 1)
     end
   in
   attempt 2

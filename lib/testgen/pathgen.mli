@@ -15,6 +15,9 @@ type config = {
   n_paths : int;
   ilp_nodes : int;  (** LP relaxations solved, for the ablation bench *)
   loop_cuts : int;  (** lazy loop-elimination constraints added *)
+  solver : Mf_ilp.Ilp.run_stats;
+      (** LP-core effort aggregated over every branch-and-bound run behind
+          this configuration (warm starts, cache hits, pivots) *)
   degraded : bool;
       (** [true] when the configuration came from the greedy heuristic
           fallback (ILP budget exhausted) rather than the ILP itself *)
@@ -32,6 +35,7 @@ val generate :
   ?max_paths:int ->
   ?node_limit:int ->
   ?budget:Mf_util.Budget.t ->
+  ?warm:bool ->
   Mf_arch.Chip.t ->
   (config, Mf_util.Fail.t) result
 (** Solve the DFT path formulation, growing the path count from 2 until
@@ -43,8 +47,13 @@ val generate :
     Degradation ladder: when [node_limit] (cumulative LP relaxations across
     the escalating per-[k] attempts) or [budget] runs out, the
     multi-restart greedy cover is returned with [degraded = true] —
-    [node_limit:0] forces it outright.  [Error] only when even the
-    heuristic cannot cover the chip within [max_paths] paths. *)
+    [node_limit:0] forces it outright.  A typed solver failure
+    ({!Mf_ilp.Ilp.outcome.Failed}) degrades the same way.  [Error] only
+    when even the heuristic cannot cover the chip within [max_paths] paths.
+
+    [warm] (default true) is passed through to {!Mf_ilp.Ilp.solve}:
+    [~warm:false] disables warm-started relaxations and the fixing-set
+    cache for differential testing; results are identical. *)
 
 val apply : Mf_arch.Chip.t -> config -> Mf_arch.Chip.t
 (** Augment the chip with the configuration's added edges. *)

@@ -1,0 +1,72 @@
+let enabled =
+  match Sys.getenv_opt "MFDFT_PROF" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+type cell = { mutable seconds : float; mutable calls : int; mutable count : int }
+
+let lock = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let cell_of stage =
+  match Hashtbl.find_opt table stage with
+  | Some c -> c
+  | None ->
+    let c = { seconds = 0.; calls = 0; count = 0 } in
+    Hashtbl.add table stage c;
+    c
+
+let record stage dt =
+  Mutex.lock lock;
+  let c = cell_of stage in
+  c.seconds <- c.seconds +. dt;
+  c.calls <- c.calls + 1;
+  Mutex.unlock lock
+
+let time stage f =
+  if not enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | v ->
+      record stage (Unix.gettimeofday () -. t0);
+      v
+    | exception e ->
+      record stage (Unix.gettimeofday () -. t0);
+      raise e
+  end
+
+let add_count stage n =
+  if enabled then begin
+    Mutex.lock lock;
+    let c = cell_of stage in
+    c.count <- c.count + n;
+    Mutex.unlock lock
+  end
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock
+
+let report () =
+  if not enabled then None
+  else begin
+    Mutex.lock lock;
+    let rows = Hashtbl.fold (fun k c acc -> (k, c.seconds, c.calls, c.count) :: acc) table [] in
+    Mutex.unlock lock;
+    if rows = [] then None
+    else begin
+      let rows = List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) rows in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %10s %8s %12s\n" "stage" "time[s]" "calls" "count");
+      List.iter
+        (fun (stage, s, calls, count) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-28s %10.3f %8d %12s\n" stage s calls
+               (if count = 0 then "-" else string_of_int count)))
+        rows;
+      Some (Buffer.contents buf)
+    end
+  end

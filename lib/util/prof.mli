@@ -1,0 +1,31 @@
+(** Zero-dependency opt-in stage profiler.
+
+    Disabled (every call a no-op) unless the process environment sets
+    [MFDFT_PROF=1] — production code can instrument hot stages
+    unconditionally with no measurable cost in normal runs.
+
+    Stages are named with free-form strings; times accumulate across calls
+    and domains (the table is mutex-guarded).  Alongside wall-clock time a
+    stage may accumulate a count (LP pivots, B&B nodes, ...) via
+    {!add_count}.  [MFDFT_PROF=1 dft_tool codesign ...] prints the table on
+    exit of the instrumented command. *)
+
+val enabled : bool
+(** True iff [MFDFT_PROF=1] was set when the process started. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time stage f] runs [f ()], attributing its wall-clock time to [stage]
+    when profiling is enabled.  Re-entrant and exception-safe (time is
+    recorded even when [f] raises).  Nested stages each record their own
+    wall time — inner stages are not subtracted from outer ones. *)
+
+val add_count : string -> int -> unit
+(** Accumulate an event count (pivots, nodes, ...) against a stage.  The
+    stage need not have been timed. *)
+
+val report : unit -> string option
+(** The formatted per-stage breakdown (stages sorted by total time,
+    descending), or [None] when profiling is disabled or nothing was
+    recorded.  Does not reset. *)
+
+val reset : unit -> unit

@@ -10,6 +10,7 @@ let solve_exn ?lazy_cuts ?upper_bound ilp =
   | Ilp.Feasible _ -> Alcotest.fail "truncated"
   | Ilp.Infeasible -> Alcotest.fail "infeasible"
   | Ilp.Node_limit -> Alcotest.fail "node limit"
+  | Ilp.Failed f -> Alcotest.fail (Mf_util.Fail.to_string f)
 
 let test_knapsack () =
   (* max 10a+6b+4c st a+b+c <= 2 *)
@@ -93,7 +94,8 @@ let test_upper_bound_prunes () =
   (* a generous bound leaves it visible *)
   match Ilp.solve ~upper_bound:10. ilp with
   | Ilp.Optimal s -> check feps "found" 1. s.objective
-  | Ilp.Feasible _ | Ilp.Infeasible | Ilp.Node_limit -> Alcotest.fail "expected optimal"
+  | Ilp.Feasible _ | Ilp.Infeasible | Ilp.Node_limit | Ilp.Failed _ ->
+    Alcotest.fail "expected optimal"
 
 let test_node_limit () =
   let ilp = Ilp.create () in
@@ -101,7 +103,7 @@ let test_node_limit () =
   Ilp.add_row ilp (List.map (fun v -> (1., v)) vars) Ilp.Ge 6.5;
   (match Ilp.solve ~node_limit:1 ilp with
    | Ilp.Node_limit | Ilp.Feasible _ -> ()
-   | Ilp.Optimal _ | Ilp.Infeasible -> Alcotest.fail "expected truncation");
+   | Ilp.Optimal _ | Ilp.Infeasible | Ilp.Failed _ -> Alcotest.fail "expected truncation");
   check Alcotest.bool "nodes counted" true (Ilp.nodes_explored ilp >= 1)
 
 let test_equality_row () =
@@ -145,7 +147,7 @@ let random_cover_prop =
       match Ilp.solve ilp with
       | Ilp.Optimal s -> !best < max_int && abs_float (s.objective -. float_of_int !best) < 1e-6
       | Ilp.Infeasible -> !best = max_int
-      | Ilp.Feasible _ | Ilp.Node_limit -> false)
+      | Ilp.Feasible _ | Ilp.Node_limit | Ilp.Failed _ -> false)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in

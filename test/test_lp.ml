@@ -162,6 +162,56 @@ let random_lp_prop =
                !lhs <= rhs +. 1e-5)
              !rows)
 
+(* Differential property for the warm-start machinery: after a
+   branching-style fixing (and sometimes a lazily appended cut row), the
+   dual re-optimisation from the parent optimal basis and a cold primal
+   solve must agree on feasibility and, when both optimal, on the objective
+   to 1e-6.  All variables are boxed, so every subproblem is bounded. *)
+let warm_cold_prop =
+  QCheck.Test.make ~name:"warm dual agrees with cold primal" ~count:200 QCheck.int
+    (fun seed ->
+      let rng = Rng.create ~seed:(abs seed) in
+      let n = 2 + Rng.int rng 6 in
+      let m = 1 + Rng.int rng 6 in
+      let lp = Lp.create () in
+      let witness = Array.init n (fun _ -> Rng.float rng 1.) in
+      let vars =
+        Array.init n (fun _ -> Lp.add_var ~upper:1. ~obj:(Rng.float rng 4. -. 2.) lp)
+      in
+      for _ = 1 to m do
+        let coefs = Array.init n (fun _ -> Rng.float rng 3. -. 1.) in
+        let lhs = ref 0. in
+        Array.iteri (fun j c -> lhs := !lhs +. (c *. witness.(j))) coefs;
+        let terms = Array.to_list (Array.mapi (fun j c -> (c, vars.(j))) coefs) in
+        (* rhs keeps the witness feasible for the root; fixings below may
+           still cut it off, which both solvers must then report *)
+        if Rng.bool rng then Lp.add_row lp terms Lp.Le (!lhs +. Rng.float rng 1.)
+        else Lp.add_row lp terms Lp.Ge (!lhs -. Rng.float rng 1.)
+      done;
+      match Lp.solve_b lp with
+      | Lp.Optimal _, Some parent, _ ->
+        (* a branching step: clamp a few variables to 0/1 *)
+        let fixed = Array.init n (fun _ -> if Rng.int rng 3 = 0 then Some (float_of_int (Rng.int rng 2)) else None) in
+        let fix v = Array.to_list (Array.mapi (fun j var -> (var, fixed.(j))) vars) |> List.assoc v in
+        (* half the time, also append a cut row (basis extension path) *)
+        if Rng.bool rng then begin
+          let coefs = Array.init n (fun _ -> Rng.float rng 2.) in
+          let terms = Array.to_list (Array.mapi (fun j c -> (c, vars.(j))) coefs) in
+          Lp.add_row lp terms Lp.Le (Rng.float rng (float_of_int n))
+        end;
+        let cold, _, cold_info = Lp.solve_b ~fix lp in
+        let warm, _, _ = Lp.solve_b ~fix ~warm:parent lp in
+        if cold_info.Lp.warm then false (* no basis was passed: must be cold *)
+        else begin
+          match (cold, warm) with
+          | Lp.Optimal { objective = a; _ }, Lp.Optimal { objective = b; _ } ->
+            abs_float (a -. b) < 1e-6
+          | Lp.Infeasible, Lp.Infeasible -> true
+          | _ -> false
+        end
+      | (Lp.Infeasible | Lp.Numerical _), _, _ -> true (* nothing to warm-start *)
+      | _ -> false)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   (* exact-value assertions require the fault-free pipeline *)
@@ -183,5 +233,6 @@ let () =
           Alcotest.test_case "set_obj" `Quick test_set_obj;
           Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
           qt random_lp_prop;
+          qt warm_cold_prop;
         ] );
     ]

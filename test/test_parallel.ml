@@ -121,6 +121,31 @@ let test_run_batch_counts_evaluations () =
   check Alcotest.int "matches calls" !calls outcome.Pso.evaluations
 
 (* ------------------------------------------------------------------ *)
+(* Differential determinism of the pool builder: the ILP-heavy stage that
+   exercises the warm-started LP core and its per-solve fixing-set cache.
+   Every candidate configuration, its solver effort counters and the
+   attempt objectives must be bit-identical whatever the job count. *)
+
+let test_pool_build_jobs_deterministic () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let build jobs =
+    let rng = Rng.create ~seed:11 in
+    let outcome =
+      Domain_pool.with_pool ~jobs (fun domains ->
+          Mfdft.Pool.build ~size:4 ~node_limit:400 ~domains ~rng chip)
+    in
+    match outcome with
+    | Error f -> Alcotest.fail (Mf_util.Fail.to_string f)
+    | Ok pool ->
+      ( Array.to_list (Mfdft.Pool.attempt_objectives pool),
+        Array.to_list (Array.map (fun e -> e.Mfdft.Pool.config) (Mfdft.Pool.entries pool)) )
+  in
+  let serial = build 1 in
+  let parallel = build 4 in
+  check Alcotest.bool "pool: jobs=1 and jobs=4 bit-identical (cache on)" true
+    (serial = parallel)
+
+(* ------------------------------------------------------------------ *)
 (* Differential determinism of the full codesign flow *)
 
 let tiny_params ~seed ~jobs =
@@ -188,6 +213,11 @@ let () =
           Alcotest.test_case "parallel batch matches serial" `Quick
             test_run_batch_matches_serial_batch;
           Alcotest.test_case "evaluation count" `Quick test_run_batch_counts_evaluations;
+        ] );
+      ( "pool differential",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4, warm cache enabled" `Quick
+            test_pool_build_jobs_deterministic;
         ] );
       ( "codesign differential",
         List.map

@@ -82,6 +82,28 @@ let test_pathgen_paths_end_at_meter () =
         check Alcotest.int "ends at meter" t (List.nth nodes (List.length nodes - 1)))
       config.Pathgen.paths
 
+(* Differential check of the warm-started LP core on a real pathgen model:
+   disabling warm starts and the fixing-set cache must not change what is
+   achieved — the same added-edge cost (objective (5)) and a full cover —
+   even though the search trajectory (and hence the concrete paths or path
+   count) may differ. *)
+let test_pathgen_warm_vs_cold () =
+  let chip = fig4_chip () in
+  let node_limit = 20_000 in
+  match (Pathgen.generate ~node_limit ~warm:true chip, Pathgen.generate ~node_limit ~warm:false chip) with
+  | Ok w, Ok c ->
+    check Alcotest.bool "warm not degraded" false w.Pathgen.degraded;
+    check Alcotest.bool "cold not degraded" false c.Pathgen.degraded;
+    check Alcotest.int "same added-edge cost"
+      (List.length w.Pathgen.added_edges)
+      (List.length c.Pathgen.added_edges);
+    check Alcotest.bool "warm starts actually used" true
+      (w.Pathgen.solver.Mf_ilp.Ilp.rs_warm_taken > 0);
+    check Alcotest.bool "cold run is cold" true
+      (c.Pathgen.solver.Mf_ilp.Ilp.rs_warm_taken = 0
+      && c.Pathgen.solver.Mf_ilp.Ilp.rs_dual_pivots = 0)
+  | (Error f, _ | _, Error f) -> Alcotest.fail (Mf_util.Fail.to_string f)
+
 let test_cutgen_fig4 () =
   let chip = fig4_chip () in
   match Pathgen.generate chip with
@@ -224,6 +246,7 @@ let () =
           Alcotest.test_case "farthest ports" `Quick test_farthest_ports;
           Alcotest.test_case "fig4 coverage" `Quick test_pathgen_fig4;
           Alcotest.test_case "paths end at meter" `Quick test_pathgen_paths_end_at_meter;
+          Alcotest.test_case "warm vs cold LP core" `Slow test_pathgen_warm_vs_cold;
           Alcotest.test_case "same port rejected" `Quick test_generate_rejects_same_port;
         ] );
       ( "cutgen",
