@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- verify       -- static-verification overhead vs generation
      dune exec bench/main.exe -- perf         -- LP-core counters, gated vs BENCH_ilp.json
      dune exec bench/main.exe -- perf-baseline -- rewrite the BENCH_ilp.json baseline
+     dune exec bench/main.exe -- sched        -- scheduler fast path, gated vs BENCH_sched.json
+     dune exec bench/main.exe -- sched-baseline -- rewrite the BENCH_sched.json baseline
 
    Absolute times differ from the paper (different workload realisations and
    a simulated substrate); the comparisons that matter are the shapes:
@@ -531,6 +533,162 @@ let perf ~write_baseline () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler fast-path benchmark: (1) differential matrix — the cached
+   bitset/CSR fast path vs the first-principles reference on every
+   benchmark chip x assay, makespans pinned equal; (2) the codesign fitness
+   scenario the tentpole targets — ivd_chip x cpa with a prebuilt pool,
+   cutoff on vs off, results pinned identical.  Gated against the committed
+   BENCH_sched.json (wall tolerance as the LP gate; any makespan/objective
+   mismatch fails). *)
+
+module Scheduler = Mf_sched.Scheduler
+
+let sched_baseline_path = "BENCH_sched.json"
+
+let sched ~write_baseline () =
+  Format.printf "@.== Sched: scheduler fast path vs reference, and bounded codesign fitness ==@.@.";
+  let entries = ref [] in
+  let hard_failures = ref [] in
+  let now = Unix.gettimeofday in
+  (* part 1: simulation matrix *)
+  Format.printf "%-12s %-6s %9s %10s %10s %8s %8s %8s@." "chip" "assay" "makespan" "fast[ms]"
+    "ref[ms]" "speedup" "steps" "routes";
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      let prep = Mf_sched.Prep.of_chip chip in
+      List.iter
+        (fun assay ->
+          let app = Option.get (Assays.by_name assay) in
+          let s0 = Scheduler.Stats.snapshot () in
+          let fast_m = Scheduler.makespan ~prep chip app in
+          let s1 = Scheduler.Stats.snapshot () in
+          let steps = s1.Scheduler.Stats.steps - s0.Scheduler.Stats.steps in
+          let routes = s1.Scheduler.Stats.routes - s0.Scheduler.Stats.routes in
+          let reps = 10 in
+          let t0 = now () in
+          for _ = 1 to reps do
+            ignore (Scheduler.makespan ~prep chip app)
+          done;
+          let fast_ms = (now () -. t0) *. 1e3 /. float_of_int reps in
+          let t0 = now () in
+          let ref_m =
+            match Scheduler.run_reference chip app with
+            | Ok s -> Some s.Mf_sched.Schedule.makespan
+            | Error _ -> None
+          in
+          let ref_ms = (now () -. t0) *. 1e3 in
+          if fast_m <> ref_m then
+            hard_failures :=
+              Printf.sprintf "%s/%s: fast makespan %s <> reference %s" chip_name assay
+                (match fast_m with Some m -> string_of_int m | None -> "-")
+                (match ref_m with Some m -> string_of_int m | None -> "-")
+              :: !hard_failures;
+          Format.printf "%-12s %-6s %9s %10.3f %10.3f %7.1fx %8d %8d@." chip_name assay
+            (match fast_m with Some m -> string_of_int m | None -> "-")
+            fast_ms ref_ms (ref_ms /. fast_ms) steps routes;
+          entries :=
+            {
+              Perf_json.s_name = chip_name ^ "/" ^ assay;
+              s_wall_ms = fast_ms;
+              s_makespan = (match fast_m with Some m -> m | None -> -1);
+              s_steps = steps;
+              s_routes = routes;
+            }
+            :: !entries)
+        assays)
+    chips;
+  (* part 2: the PSO fitness hot loop — one full codesign run on the
+     scheduler-bound pair, bounded (cutoff on) vs exhaustive (cutoff off) *)
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Option.get (Assays.by_name "cpa") in
+  let params = { Codesign.quick_params with Codesign.jobs = 1 } in
+  let pool =
+    let rng = Rng.create ~seed:params.Codesign.seed in
+    Domain_pool.with_pool ~jobs (fun domains ->
+        Pool.build ~size:params.Codesign.pool_size ~node_limit:params.Codesign.ilp_node_limit
+          ~domains ~rng chip)
+  in
+  (match pool with
+   | Error f -> hard_failures := ("pool build failed: " ^ Mf_util.Fail.to_string f) :: !hard_failures
+   | Ok pool ->
+     let fingerprint (r : Codesign.result) =
+       ( r.Codesign.exec_final,
+         r.Codesign.exec_original,
+         r.Codesign.exec_dft_unshared,
+         r.Codesign.exec_dft_no_pso,
+         r.Codesign.sharing,
+         r.Codesign.trace,
+         r.Codesign.evaluations )
+     in
+     let measure cutoff =
+       let s0 = Scheduler.Stats.snapshot () in
+       let t0 = now () in
+       let r =
+         Codesign.run ~params:{ params with Codesign.sched_cutoff = cutoff } ~pool chip app
+       in
+       let wall = (now () -. t0) *. 1e3 in
+       let s1 = Scheduler.Stats.snapshot () in
+       (r, wall, s1.Scheduler.Stats.steps - s0.Scheduler.Stats.steps,
+        s1.Scheduler.Stats.routes - s0.Scheduler.Stats.routes,
+        s1.Scheduler.Stats.cutoffs - s0.Scheduler.Stats.cutoffs)
+     in
+     let r_on, wall_on, steps_on, routes_on, cuts_on = measure true in
+     let r_off, wall_off, steps_off, _, _ = measure false in
+     (match (r_on, r_off) with
+      | Ok on, Ok off ->
+        let identical = fingerprint on = fingerprint off in
+        Format.printf
+          "@.codesign ivd_chip/cpa (quick, jobs=1, prebuilt pool):@.  cutoff on:  %8.0f ms  \
+           (%d event-loop steps, %d cutoffs)@.  cutoff off: %8.0f ms  (%d event-loop \
+           steps)@.  step ratio %.2fx, wall ratio %.2fx, results identical: %b@."
+          wall_on steps_on cuts_on wall_off steps_off
+          (float_of_int steps_off /. float_of_int (max 1 steps_on))
+          (wall_off /. wall_on) identical;
+        if not identical then
+          hard_failures := "codesign results differ between cutoff on and off" :: !hard_failures;
+        entries :=
+          {
+            Perf_json.s_name = "codesign:ivd_chip/cpa";
+            s_wall_ms = wall_on;
+            s_makespan = (match on.Codesign.exec_final with Some m -> m | None -> -1);
+            s_steps = steps_on;
+            s_routes = routes_on;
+          }
+          :: !entries
+      | (Error f, _ | _, Error f) ->
+        hard_failures := ("codesign failed: " ^ Mf_util.Fail.to_string f) :: !hard_failures));
+  let doc = { Perf_json.s_jobs = jobs; s_entries = List.rev !entries } in
+  (match !hard_failures with
+   | [] -> ()
+   | fs ->
+     Format.printf "@.sched gate: FAIL@.";
+     List.iter (fun m -> Format.printf "  - %s@." m) (List.rev fs);
+     exit 1);
+  if write_baseline then begin
+    Perf_json.save_sched sched_baseline_path doc;
+    Format.printf "@.baseline written to %s@." sched_baseline_path
+  end
+  else begin
+    match Perf_json.load_sched sched_baseline_path with
+    | Error msg ->
+      Format.printf "@.no usable baseline (%s); run `bench -- sched-baseline` to create one@."
+        msg
+    | Ok baseline ->
+      let failures, notes = Perf_json.compare_sched ~baseline doc in
+      List.iter (fun m -> Format.printf "note: %s@." m) notes;
+      (match failures with
+       | [] ->
+         Format.printf
+           "sched gate: PASS (within %.0f%% of baseline wall, makespans/objectives exact)@."
+           ((Perf_json.tolerance -. 1.) *. 100.)
+       | failures ->
+         Format.printf "sched gate: FAIL@.";
+         List.iter (fun m -> Format.printf "  - %s@." m) failures;
+         exit 1)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
 
 let micro () =
@@ -624,6 +782,9 @@ let () =
      a committed baseline and exits nonzero on failure *)
   if List.mem "perf" args then perf ~write_baseline:false ();
   if List.mem "perf-baseline" args then perf ~write_baseline:true ();
+  (* sched is explicit-only for the same reason: gated vs BENCH_sched.json *)
+  if List.mem "sched" args then sched ~write_baseline:false ();
+  if List.mem "sched-baseline" args then sched ~write_baseline:true ();
   (* chaos is opt-in only: it deliberately breaks determinism *)
   if List.mem "chaos" args then chaos_bench ();
   if List.mem "verify" args || List.mem "all" args then verify_bench ();

@@ -1,9 +1,10 @@
 (* Machine-readable record of one [bench -- perf] run, plus the committed
-   baseline it is gated against (BENCH_ilp.json).
+   baseline it is gated against (BENCH_ilp.json); likewise for
+   [bench -- sched] and BENCH_sched.json.
 
    The repo deliberately carries no JSON dependency, so this module ships a
    writer and a small recursive-descent parser for exactly the subset the
-   schema uses: objects, arrays, strings (escaped quote and backslash only),
+   schemas use: objects, arrays, strings (escaped quote and backslash only),
    numbers and null. *)
 
 type entry = {
@@ -223,6 +224,36 @@ let load path : (doc, string) result =
        | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
 
 (* ------------------------------------------------------------------ *)
+(* scheduler fast-path benchmark (bench -- sched / BENCH_sched.json) *)
+
+type sched_entry = {
+  s_name : string; (* "chip/assay" or "codesign:chip/assay" *)
+  s_wall_ms : float; (* fast-path wall clock *)
+  s_makespan : int; (* makespan / final codesign objective; -1 = none *)
+  s_steps : int; (* scheduler event-loop iterations *)
+  s_routes : int; (* routing queries *)
+}
+
+type sched_doc = { s_jobs : int; s_entries : sched_entry list }
+
+let sched_schema = "mfdft-bench-sched-v1"
+
+let save_sched path doc =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" sched_schema doc.s_jobs;
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"name\": \"%s\", \"wall_ms\": %.2f, \"makespan\": %d, \"steps\": %d, \
+         \"routes\": %d}%s\n"
+        e.s_name e.s_wall_ms e.s_makespan e.s_steps e.s_routes
+        (if i = List.length doc.s_entries - 1 then "" else ","))
+    doc.s_entries;
+  out "  ]\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
 (* regression gate *)
 
 (* Wall-clock and node counts may regress by at most this factor against
@@ -267,4 +298,59 @@ let compare_against ~(baseline : doc) (current : doc) : string list * string lis
               | None, Some _ -> note "%s: attempt %d failed in baseline, succeeds now" b.chip i)
             (List.combine b.objectives e.objectives))
     baseline.entries;
+  (List.rev !failures, List.rev !notes)
+
+let load_sched path : (sched_doc, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match parse text with
+    | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | j ->
+      (match
+         let s = as_str (field "schema" j) in
+         if s <> sched_schema then raise (Bad ("unknown schema " ^ s));
+         let entry e =
+           {
+             s_name = as_str (field "name" e);
+             s_wall_ms = as_num (field "wall_ms" e);
+             s_makespan = as_int (field "makespan" e);
+             s_steps = as_int (field "steps" e);
+             s_routes = as_int (field "routes" e);
+           }
+         in
+         {
+           s_jobs = as_int (field "jobs" j);
+           s_entries = List.map entry (as_arr (field "entries" j));
+         }
+       with
+       | doc -> Ok doc
+       | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* Scheduler gate: same wall tolerance as the LP gate; makespans (and the
+   final codesign objective) are deterministic, so any mismatch against the
+   baseline is a hard failure.  Step/route counts are deterministic too but
+   legitimately change when the scheduling algorithm changes — drift is
+   reported as a note so the baseline refresh is a conscious act. *)
+let compare_sched ~(baseline : sched_doc) (current : sched_doc) : string list * string list =
+  let failures = ref [] in
+  let notes = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  List.iter
+    (fun (b : sched_entry) ->
+      match List.find_opt (fun e -> e.s_name = b.s_name) current.s_entries with
+      | None -> fail "%s: missing from current run" b.s_name
+      | Some e ->
+        if e.s_wall_ms > (tolerance *. b.s_wall_ms) +. 50. then
+          fail "%s: wall-clock regression %.1f ms -> %.1f ms (>%.0f%% over baseline)" b.s_name
+            b.s_wall_ms e.s_wall_ms
+            ((tolerance -. 1.) *. 100.);
+        if e.s_makespan <> b.s_makespan then
+          fail "%s: makespan/objective mismatch %d -> %d" b.s_name b.s_makespan e.s_makespan;
+        if e.s_steps <> b.s_steps then
+          note "%s: event-loop steps changed %d -> %d" b.s_name b.s_steps e.s_steps;
+        if e.s_routes <> b.s_routes then
+          note "%s: route queries changed %d -> %d" b.s_name b.s_routes e.s_routes)
+    baseline.s_entries;
   (List.rev !failures, List.rev !notes)

@@ -22,6 +22,13 @@ type params = {
       (** domains evaluating outer particles (and pool candidates)
           concurrently; results are bit-identical for any value ≥ 1 because
           every rng draw stays on the coordinating domain (default 1) *)
+  sched_cutoff : bool;
+      (** abort each fitness schedule simulation as soon as its elapsed
+          time exceeds the inner particle's personal-best fitness
+          ({!Mf_sched.Scheduler.makespan_until}).  Result-transparent: PSO
+          bests only move on strictly better (hence fully simulated)
+          values, so the final result is identical with the flag on or off
+          — only the work differs (default true) *)
 }
 
 val default_params : params

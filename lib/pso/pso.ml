@@ -19,74 +19,7 @@ type outcome = {
   evaluations : int;
 }
 
-type particle = {
-  x : float array;
-  v : float array;
-  mutable p_best : float array;
-  mutable p_fit : float;
-}
-
 let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
-
-let run ?(params = default_params) ?budget ~rng ~dim ~fitness () =
-  if dim <= 0 then invalid_arg "Pso.run: dim must be positive";
-  let evaluations = ref 0 in
-  let eval x =
-    incr evaluations;
-    fitness x
-  in
-  let make_particle () =
-    let x = Array.init dim (fun _ -> Rng.uniform rng) in
-    let v = Array.init dim (fun _ -> (Rng.uniform rng -. 0.5) *. params.v_max) in
-    let fit = eval x in
-    { x; v; p_best = Array.copy x; p_fit = fit }
-  in
-  let swarm = Array.init params.particles (fun _ -> make_particle ()) in
-  let g_best = ref (Array.copy swarm.(0).p_best) in
-  let g_fit = ref swarm.(0).p_fit in
-  Array.iter
-    (fun p ->
-      if p.p_fit < !g_fit then begin
-        g_fit := p.p_fit;
-        g_best := Array.copy p.p_best
-      end)
-    swarm;
-  let trace = ref [] in
-  (let exception Out_of_budget in
-   try
-     for _iter = 1 to params.iterations do
-       if Mf_util.Budget.over budget then raise Out_of_budget;
-       Array.iter
-         (fun p ->
-           for d = 0 to dim - 1 do
-             let r1 = Rng.uniform rng and r2 = Rng.uniform rng in
-             let v =
-               (params.omega *. p.v.(d))
-               +. (params.c1 *. r1 *. (p.p_best.(d) -. p.x.(d)))
-               +. (params.c2 *. r2 *. (!g_best.(d) -. p.x.(d)))
-             in
-             p.v.(d) <- clamp (-.params.v_max) params.v_max v;
-             p.x.(d) <- clamp 0. 1. (p.x.(d) +. p.v.(d))
-           done;
-           let fit = eval p.x in
-           if fit < p.p_fit then begin
-             p.p_fit <- fit;
-             p.p_best <- Array.copy p.x
-           end;
-           if fit < !g_fit then begin
-             g_fit := fit;
-             g_best := Array.copy p.x
-           end)
-         swarm;
-       trace := !g_fit :: !trace
-     done
-   with Out_of_budget -> ());
-  {
-    best_position = !g_best;
-    best_fitness = !g_fit;
-    trace = List.rev !trace;
-    evaluations = !evaluations;
-  }
 
 type batch_state = {
   next_iter : int; (* first iteration the resumed run will execute *)
@@ -101,20 +34,24 @@ type batch_state = {
   st_evals : int;
 }
 
-(* Synchronous-update variant: every RNG draw happens here, in particle
-   order, before the whole iteration's positions go to [batch_fitness] as
-   one read-only batch.  Velocity updates use the previous iteration's
-   global best, so the outcome depends only on the rng stream and the
-   fitness values — never on the order the batch is evaluated in. *)
-let run_batch ?(params = default_params) ?budget ?checkpoint ?resume ~rng ~dim ~batch_fitness ()
-    =
-  if dim <= 0 then invalid_arg "Pso.run_batch: dim must be positive";
+(* The one swarm implementation (synchronous updates): every RNG draw
+   happens here, in particle order, before the whole iteration's positions
+   go to [eval_batch] as one read-only batch together with each particle's
+   incumbent personal-best fitness (the bound a bounded evaluator may prune
+   against — see [run_bounded]).  Velocity updates use the previous
+   iteration's global best, so the outcome depends only on the rng stream
+   and the fitness values — never on the order the batch is evaluated in.
+   [run], [run_bounded] and [run_batch] are all thin wrappers, so the
+   sequential and parallel paths cannot drift. *)
+let run_core ~name ?(params = default_params) ?budget ?checkpoint ?resume ~rng ~dim ~eval_batch
+    () =
+  if dim <= 0 then invalid_arg (name ^ ": dim must be positive");
   let n = params.particles in
   let evaluations = ref 0 in
-  let eval_all xs =
-    let fits = batch_fitness xs in
+  let eval_all xs bounds =
+    let fits = eval_batch xs bounds in
     if Array.length fits <> Array.length xs then
-      invalid_arg "Pso.run_batch: batch_fitness must return one fitness per position";
+      invalid_arg (name ^ ": batch_fitness must return one fitness per position");
     evaluations := !evaluations + Array.length xs;
     fits
   in
@@ -122,9 +59,9 @@ let run_batch ?(params = default_params) ?budget ?checkpoint ?resume ~rng ~dim ~
     match resume with
     | Some st ->
       if Array.length st.st_xs <> n then
-        invalid_arg "Pso.run_batch: resume state swarm size mismatch";
+        invalid_arg (name ^ ": resume state swarm size mismatch");
       if n > 0 && Array.length st.st_xs.(0) <> dim then
-        invalid_arg "Pso.run_batch: resume state dimension mismatch";
+        invalid_arg (name ^ ": resume state dimension mismatch");
       (* the caller's rng continues exactly where the snapshot left off *)
       Rng.blit ~src:st.st_rng ~dst:rng;
       evaluations := st.st_evals;
@@ -143,7 +80,8 @@ let run_batch ?(params = default_params) ?budget ?checkpoint ?resume ~rng ~dim ~
         xs.(i) <- Array.init dim (fun _ -> Rng.uniform rng);
         vs.(i) <- Array.init dim (fun _ -> (Rng.uniform rng -. 0.5) *. params.v_max)
       done;
-      let fits = eval_all xs in
+      (* nothing to prune against yet: the first batch runs unbounded *)
+      let fits = eval_all xs (Array.make n infinity) in
       let p_best = Array.map Array.copy xs in
       let p_fit = Array.copy fits in
       let g_best = ref (Array.copy xs.(0)) in
@@ -186,7 +124,9 @@ let run_batch ?(params = default_params) ?budget ?checkpoint ?resume ~rng ~dim ~
            xs.(i).(d) <- clamp 0. 1. (xs.(i).(d) +. vs.(i).(d))
          done
        done;
-       let fits = eval_all xs in
+       (* a result > p_fit.(i) cannot move any best, so a bounded evaluator
+          may return any value > the bound once it proves that much *)
+       let fits = eval_all xs (Array.copy p_fit) in
        for i = 0 to n - 1 do
          if fits.(i) < p_fit.(i) then begin
            p_fit.(i) <- fits.(i);
@@ -207,3 +147,18 @@ let run_batch ?(params = default_params) ?budget ?checkpoint ?resume ~rng ~dim ~
     trace = List.rev !trace;
     evaluations = !evaluations;
   }
+
+let run ?params ?budget ~rng ~dim ~fitness () =
+  run_core ~name:"Pso.run" ?params ?budget ~rng ~dim
+    ~eval_batch:(fun xs _bounds -> Array.map fitness xs)
+    ()
+
+let run_bounded ?params ?budget ~rng ~dim ~fitness () =
+  run_core ~name:"Pso.run_bounded" ?params ?budget ~rng ~dim
+    ~eval_batch:(fun xs bounds -> Array.mapi (fun i x -> fitness ~bound:bounds.(i) x) xs)
+    ()
+
+let run_batch ?params ?budget ?checkpoint ?resume ~rng ~dim ~batch_fitness () =
+  run_core ~name:"Pso.run_batch" ?params ?budget ?checkpoint ?resume ~rng ~dim
+    ~eval_batch:(fun xs _bounds -> batch_fitness xs)
+    ()

@@ -40,11 +40,33 @@ val run :
   unit ->
   outcome
 (** Search the box [\[0,1\]^dim].  [fitness] is called on decoded-by-caller
-    positions; it must be deterministic for reproducibility.  If every
-    evaluation returns [infinity] the outcome's [best_fitness] is
-    [infinity] and [best_position] is the last particle examined.
-    When [budget] expires the loop stops before the next iteration and the
-    best-so-far outcome is returned (shorter [trace]). *)
+    positions, in particle order; it must be deterministic for
+    reproducibility.  If every evaluation returns [infinity] the outcome's
+    [best_fitness] is [infinity] and [best_position] is the last particle
+    examined.  When [budget] expires the loop stops before the next
+    iteration and the best-so-far outcome is returned (shorter [trace]).
+
+    [run], {!run_bounded} and {!run_batch} are wrappers over one
+    synchronous-update core: within an iteration every particle's velocity
+    update sees the {e previous} iteration's global best (so the sequential
+    and batched paths cannot drift apart). *)
+
+val run_bounded :
+  ?params:params ->
+  ?budget:Mf_util.Budget.t ->
+  rng:Mf_util.Rng.t ->
+  dim:int ->
+  fitness:(bound:float -> float array -> float) ->
+  unit ->
+  outcome
+(** Like {!run}, but each evaluation receives the particle's incumbent
+    personal-best fitness as [~bound] ([infinity] on the first iteration).
+    A returned value can only update the bests when strictly below the
+    bound, so an evaluator may stop early and return {e any} value
+    [> bound] as soon as it has proven the true fitness exceeds it — the
+    outcome (positions, bests, trace) is identical to the unbounded run as
+    long as that contract holds.  This is the hook for
+    [Scheduler.makespan_until]-style branch-and-bound fitness. *)
 
 type batch_state
 (** Opaque snapshot of an in-flight {!run_batch} search: swarm positions,

@@ -1,0 +1,127 @@
+module Chip = Mf_arch.Chip
+module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
+module Bitset = Mf_util.Bitset
+
+type t = {
+  g : Graph.t;
+  n_nodes : int;
+  n_edges : int;
+  adj_off : int array;
+  adj_edge : int array;
+  adj_node : int array;
+  edge_u : int array;
+  edge_v : int array;
+  channels : Bitset.t;
+  n_valves : int;
+  valve_edge : int array;
+  valve_control : int array;
+  edge_control : int array;
+  n_controls : int;
+  device_of : int array;
+  port_of : int array;
+  dev_node : int array;
+  port_node : int array;
+  enclosed : Bitset.t;
+}
+
+let control_maps chip ~n_edges =
+  let valves = Chip.valves chip in
+  let n_valves = Array.length valves in
+  let valve_edge = Array.make n_valves (-1) in
+  let valve_control = Array.make n_valves (-1) in
+  let edge_control = Array.make n_edges (-1) in
+  Array.iter
+    (fun (v : Chip.valve) ->
+      valve_edge.(v.valve_id) <- v.edge;
+      valve_control.(v.valve_id) <- v.control;
+      edge_control.(v.edge) <- v.control)
+    valves;
+  (n_valves, valve_edge, valve_control, edge_control)
+
+let of_chip chip =
+  let g = Grid.graph (Chip.grid chip) in
+  let n_nodes = Graph.n_nodes g in
+  let n_edges = Graph.n_edges g in
+  let adj_off = Array.make (n_nodes + 1) 0 in
+  for u = 0 to n_nodes - 1 do
+    adj_off.(u + 1) <- adj_off.(u) + List.length (Graph.incident g u)
+  done;
+  let total = adj_off.(n_nodes) in
+  let adj_edge = Array.make total 0 in
+  let adj_node = Array.make total 0 in
+  for u = 0 to n_nodes - 1 do
+    List.iteri
+      (fun i (e, v) ->
+        adj_edge.(adj_off.(u) + i) <- e;
+        adj_node.(adj_off.(u) + i) <- v)
+      (Graph.incident g u)
+  done;
+  let edge_u = Array.make n_edges 0 in
+  let edge_v = Array.make n_edges 0 in
+  for e = 0 to n_edges - 1 do
+    let u, v = Graph.endpoints g e in
+    edge_u.(e) <- u;
+    edge_v.(e) <- v
+  done;
+  let channels = Chip.channel_edges chip in
+  let n_valves, valve_edge, valve_control, edge_control = control_maps chip ~n_edges in
+  let device_of = Array.make n_nodes (-1) in
+  let port_of = Array.make n_nodes (-1) in
+  let devices = Chip.devices chip in
+  let ports = Chip.ports chip in
+  let dev_node = Array.map (fun (d : Chip.device) -> d.node) devices in
+  let port_node = Array.map (fun (p : Chip.port) -> p.node) ports in
+  Array.iter (fun (d : Chip.device) -> device_of.(d.node) <- d.device_id) devices;
+  Array.iter (fun (p : Chip.port) -> port_of.(p.node) <- p.port_id) ports;
+  (* A pocket edge is enclosed when, at both endpoints, every other channel
+     edge carries a valve: the fluid can be sealed in.  Valve *presence*
+     per edge is invariant under control rewiring, so this survives
+     [with_sharing]. *)
+  let has_valve e = edge_control.(e) >= 0 in
+  let enclosed = Bitset.create n_edges in
+  for e = 0 to n_edges - 1 do
+    if Bitset.mem channels e then begin
+      let boundary n =
+        let ok = ref true in
+        for k = adj_off.(n) to adj_off.(n + 1) - 1 do
+          let f = adj_edge.(k) in
+          if f <> e && Bitset.mem channels f && not (has_valve f) then ok := false
+        done;
+        !ok
+      in
+      if boundary edge_u.(e) && boundary edge_v.(e) then Bitset.add enclosed e
+    end
+  done;
+  {
+    g;
+    n_nodes;
+    n_edges;
+    adj_off;
+    adj_edge;
+    adj_node;
+    edge_u;
+    edge_v;
+    channels;
+    n_valves;
+    valve_edge;
+    valve_control;
+    edge_control;
+    n_controls = Chip.n_controls chip;
+    device_of;
+    port_of;
+    dev_node;
+    port_node;
+    enclosed;
+  }
+
+let for_sharing base chip =
+  let g = Grid.graph (Chip.grid chip) in
+  if Graph.n_nodes g <> base.n_nodes || Graph.n_edges g <> base.n_edges then
+    invalid_arg "Prep.for_sharing: topology mismatch";
+  let n_valves, valve_edge, valve_control, edge_control =
+    control_maps chip ~n_edges:base.n_edges
+  in
+  if n_valves <> base.n_valves || valve_edge <> base.valve_edge then
+    invalid_arg "Prep.for_sharing: valve placement mismatch";
+  { base with valve_edge; valve_control; edge_control; n_controls = Chip.n_controls chip }

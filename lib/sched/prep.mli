@@ -1,0 +1,50 @@
+(** Immutable per-chip routing/topology cache for the scheduler fast path.
+
+    Everything the scheduler's inner loops repeatedly re-derived from
+    [Chip.t]/[Graph.t] — adjacency, edge endpoints, valve wiring, which
+    nodes host devices or ports, which channel edges qualify as enclosed
+    storage pockets — is computed once here and then shared by every
+    simulation over the same topology.  A value is immutable after
+    construction, so one [t] may be used concurrently from several domains
+    (the codesign fitness fan-out builds one per DFT configuration and
+    reuses it across all sharing schemes).
+
+    Two chips related by {!Mf_arch.Chip.with_sharing} have identical
+    topology and differ only in valve→control wiring; {!for_sharing}
+    rebuilds just the control maps and shares the rest. *)
+
+type t = private {
+  g : Mf_graph.Graph.t;
+  n_nodes : int;
+  n_edges : int;
+  adj_off : int array;  (** CSR row offsets, length [n_nodes + 1] *)
+  adj_edge : int array;
+      (** incident edge ids, in exactly the order [Graph.incident] lists
+          them — BFS tie-breaking depends on it *)
+  adj_node : int array;  (** neighbour reached through [adj_edge] entry *)
+  edge_u : int array;  (** first endpoint, as stored by [Graph.endpoints] *)
+  edge_v : int array;
+  channels : Mf_util.Bitset.t;  (** treat as read-only *)
+  n_valves : int;
+  valve_edge : int array;  (** valve id -> edge *)
+  valve_control : int array;  (** valve id -> control line *)
+  edge_control : int array;  (** edge -> control of its valve, or -1 *)
+  n_controls : int;
+  device_of : int array;  (** node -> device id, or -1 *)
+  port_of : int array;  (** node -> port id, or -1 *)
+  dev_node : int array;  (** device id -> node *)
+  port_node : int array;  (** port id -> node *)
+  enclosed : Mf_util.Bitset.t;
+      (** channel edges both of whose endpoints are bounded entirely by
+          non-channels or valve-carrying channels (besides the edge
+          itself): the pockets where a fluid can be held *)
+}
+
+val of_chip : Mf_arch.Chip.t -> t
+(** Build the full cache; linear in the grid size. *)
+
+val for_sharing : t -> Mf_arch.Chip.t -> t
+(** [for_sharing base shared] is the cache for [shared], a chip obtained
+    from [base]'s chip via {!Mf_arch.Chip.with_sharing}: only the
+    valve-control maps are rebuilt, all topology arrays are shared with
+    [base].  Raises [Invalid_argument] if the topologies disagree. *)

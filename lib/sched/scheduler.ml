@@ -1,9 +1,9 @@
 module Chip = Mf_arch.Chip
-module Grid = Mf_grid.Grid
 module Graph = Mf_graph.Graph
 module Bitset = Mf_util.Bitset
 module Op = Mf_bioassay.Op
 module Seqgraph = Mf_bioassay.Seqgraph
+module P = Prep
 
 type options = {
   respect_sharing : bool;
@@ -23,6 +23,37 @@ let default_options =
     wash = false;
     wash_penalty = 2;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+module Stats = struct
+  type snapshot = { runs : int; steps : int; routes : int; cutoffs : int }
+
+  let runs = Atomic.make 0
+  let steps = Atomic.make 0
+  let routes = Atomic.make 0
+  let cutoffs = Atomic.make 0
+
+  let reset () =
+    Atomic.set runs 0;
+    Atomic.set steps 0;
+    Atomic.set routes 0;
+    Atomic.set cutoffs 0
+
+  let snapshot () =
+    {
+      runs = Atomic.get runs;
+      steps = Atomic.get steps;
+      routes = Atomic.get routes;
+      cutoffs = Atomic.get cutoffs;
+    }
+end
+
+(* Debug dumps are env-gated; the variable is read once so the event loop
+   pays a single forced-lazy boolean test on the cold deadlock path and
+   allocates nothing when tracing is off. *)
+let debug_enabled = lazy (Sys.getenv_opt "MFDFT_SCHED_DEBUG" <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Mutable run state *)
@@ -62,12 +93,22 @@ type transport = {
   t_finish : int;
 }
 
+(* The state carries two redundant views of occupancy.  The *reference*
+   view is the original seed implementation: every query rebuilds its
+   answer from [units]/[devs]/[transports] on the spot.  The *fast* view
+   maintains the same sets incrementally (bitsets and count arrays updated
+   by the mutation hooks below).  Both modes run the identical decision
+   algorithm; [fast] only selects which primitive answers each query, so
+   any divergence is a bug in exactly one primitive pair — which the
+   differential tests check directly. *)
 type state = {
   chip : Chip.t;
+  prep : P.t;
   g : Graph.t;
-  channels : Bitset.t;
   app : Seqgraph.t;
   opts : options;
+  fast : bool;
+  record_events : bool;
   devs : dev array;
   units : unit_state array;
   inputs_of : int list array;  (** op -> unit ids it consumes *)
@@ -85,6 +126,35 @@ type state = {
   last_user : int array;  (** edge -> lineage of the last fluid through it *)
   priority : int list;  (** topological op order *)
   port_nodes : int list;
+  kind_counts : int array;  (** device kind -> number of devices *)
+  mutable c_steps : int;
+  mutable c_routes : int;
+  (* incremental occupancy (fast primitives) *)
+  dev_units : int list array;  (** device -> resident unit ids, ascending *)
+  dev_inbound : int list array;  (** device -> unit ids in transit to it *)
+  occ_nodes : Bitset.t;  (** busy-device nodes + storage-edge endpoints *)
+  storage : Bitset.t;  (** edges stored-at or claimed by in-flight eviction *)
+  te_count : int array;  (** edge -> in-flight transports covering it *)
+  tn_count : int array;  (** node -> in-flight transports covering it *)
+  ctrl_release : int array;  (** control -> valve edges on in-flight paths *)
+  res_count : int array;  (** port node -> vial claims (resident + inbound) *)
+  (* BFS scratch A: routing / distance fields (epoch-stamped) *)
+  q : int array;
+  dist_a : int array;
+  stamp_a : int array;
+  pedge : int array;
+  pnode : int array;
+  mutable epoch_a : int;
+  (* source marks for multi-source routing *)
+  smark : int array;
+  mutable epoch_s : int;
+  (* BFS scratch B: reachability probes nested inside a live scratch-A pass *)
+  q_b : int array;
+  stamp_b : int array;
+  mutable epoch_b : int;
+  (* blocked-node marks for connectivity checks *)
+  bmark : int array;
+  mutable epoch_m : int;
 }
 
 (* Residue identity of a unit: its producing operation, or a unique negative
@@ -98,7 +168,9 @@ let device_kind_of_op = function
   | Op.Heat -> Chip.Heater
   | Op.Filter -> Chip.Filter
 
-let init chip app opts =
+let kind_index = function Chip.Mixer -> 0 | Chip.Detector -> 1 | Chip.Heater -> 2 | Chip.Filter -> 3
+
+let init chip prep app opts ~fast ~record_events =
   let devs =
     Array.map
       (fun (d : Chip.device) ->
@@ -129,12 +201,22 @@ let init chip app opts =
           outputs_of.(p) <- outputs_of.(p) @ [ u.u_id ])
         preds
   done;
+  let n_nodes = prep.P.n_nodes in
+  let n_edges = prep.P.n_edges in
+  let kind_counts = Array.make 4 0 in
+  Array.iter
+    (fun (d : Chip.device) ->
+      let k = kind_index d.kind in
+      kind_counts.(k) <- kind_counts.(k) + 1)
+    (Chip.devices chip);
   {
     chip;
-    g = Grid.graph (Chip.grid chip);
-    channels = Chip.channel_edges chip;
+    prep;
+    g = prep.P.g;
     app;
     opts;
+    fast;
+    record_events;
     devs;
     units = Array.of_list (List.rev !units);
     inputs_of;
@@ -149,7 +231,7 @@ let init chip app opts =
     transport_time = 0;
     n_stored = 0;
     n_washes = 0;
-    last_user = Array.make (Graph.n_edges (Grid.graph (Chip.grid chip))) min_int;
+    last_user = Array.make n_edges min_int;
     priority =
       (* sinks first: finishing them consumes fluids without producing new
          ones, releasing devices and storage for everything else *)
@@ -157,10 +239,118 @@ let init chip app opts =
        let sinks, inner = List.partition (fun j -> Seqgraph.succs app j = []) topo in
        sinks @ inner);
     port_nodes = Array.to_list (Chip.ports chip) |> List.map (fun (p : Chip.port) -> p.node);
+    kind_counts;
+    c_steps = 0;
+    c_routes = 0;
+    dev_units = Array.make (Array.length devs) [];
+    dev_inbound = Array.make (Array.length devs) [];
+    occ_nodes = Bitset.create n_nodes;
+    storage = Bitset.create n_edges;
+    te_count = Array.make n_edges 0;
+    tn_count = Array.make n_nodes 0;
+    ctrl_release = Array.make (max 1 prep.P.n_controls) 0;
+    res_count = Array.make n_nodes 0;
+    q = Array.make n_nodes 0;
+    dist_a = Array.make n_nodes 0;
+    stamp_a = Array.make n_nodes 0;
+    pedge = Array.make n_nodes (-1);
+    pnode = Array.make n_nodes (-1);
+    epoch_a = 0;
+    smark = Array.make n_nodes 0;
+    epoch_s = 0;
+    q_b = Array.make n_nodes 0;
+    stamp_b = Array.make n_nodes 0;
+    epoch_b = 0;
+    bmark = Array.make n_nodes 0;
+    epoch_m = 0;
   }
 
 (* ------------------------------------------------------------------ *)
-(* Occupancy *)
+(* Mutation hooks: every change to unit locations, device runs or the
+   in-flight transport set goes through these, keeping the incremental
+   view in lock-step with the ground-truth fields in both modes. *)
+
+let refresh_dev_occ st (d : dev) =
+  let busy =
+    match d.d_run with Running _ -> true | Idle -> st.dev_units.(d.d_id) <> []
+  in
+  if busy then Bitset.add st.occ_nodes d.d_node else Bitset.remove st.occ_nodes d.d_node
+
+(* Storage-edge endpoints are always plain channel nodes (site selection
+   excludes device/port nodes and previously claimed endpoints), so their
+   occupancy bits never collide with device bits and each endpoint has one
+   claimant — plain add/remove is exact. *)
+let storage_claim st e =
+  if not (Bitset.mem st.storage e) then begin
+    Bitset.add st.storage e;
+    Bitset.add st.occ_nodes st.prep.P.edge_u.(e);
+    Bitset.add st.occ_nodes st.prep.P.edge_v.(e)
+  end
+
+let storage_release st e =
+  Bitset.remove st.storage e;
+  Bitset.remove st.occ_nodes st.prep.P.edge_u.(e);
+  Bitset.remove st.occ_nodes st.prep.P.edge_v.(e)
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: _ as l when x <= y -> x :: l
+  | y :: rest -> y :: insert_sorted x rest
+
+let set_loc st (u : unit_state) loc =
+  (match u.loc with
+   | At_device d ->
+     st.dev_units.(d) <- List.filter (fun id -> id <> u.u_id) st.dev_units.(d);
+     refresh_dev_occ st st.devs.(d)
+   | Stored e -> storage_release st e
+   | At_reservoir n -> st.res_count.(n) <- st.res_count.(n) - 1
+   | Fresh | In_transit | Consumed -> ());
+  u.loc <- loc;
+  match loc with
+  | At_device d ->
+    st.dev_units.(d) <- insert_sorted u.u_id st.dev_units.(d);
+    refresh_dev_occ st st.devs.(d)
+  | Stored e -> storage_claim st e
+  | At_reservoir n -> st.res_count.(n) <- st.res_count.(n) + 1
+  | Fresh | In_transit | Consumed -> ()
+
+let set_run st (d : dev) run =
+  d.d_run <- run;
+  refresh_dev_occ st d
+
+let add_transport st tr =
+  st.transports <- tr :: st.transports;
+  List.iter
+    (fun e ->
+      st.te_count.(e) <- st.te_count.(e) + 1;
+      let c = st.prep.P.edge_control.(e) in
+      if c >= 0 then st.ctrl_release.(c) <- st.ctrl_release.(c) + 1)
+    tr.t_path;
+  List.iter (fun n -> st.tn_count.(n) <- st.tn_count.(n) + 1) tr.t_nodes;
+  match tr.t_dest with
+  | To_device d -> st.dev_inbound.(d) <- tr.t_unit :: st.dev_inbound.(d)
+  | To_storage e -> storage_claim st e
+  | To_reservoir n -> st.res_count.(n) <- st.res_count.(n) + 1
+
+(* Caller removes [tr] from [st.transports]; this reverses the counters.
+   A storage claim persists (the unit lands [Stored] there right after);
+   a reservoir claim is re-added by the unit's [set_loc]. *)
+let drop_transport st tr =
+  List.iter
+    (fun e ->
+      st.te_count.(e) <- st.te_count.(e) - 1;
+      let c = st.prep.P.edge_control.(e) in
+      if c >= 0 then st.ctrl_release.(c) <- st.ctrl_release.(c) - 1)
+    tr.t_path;
+  List.iter (fun n -> st.tn_count.(n) <- st.tn_count.(n) - 1) tr.t_nodes;
+  match tr.t_dest with
+  | To_device d -> st.dev_inbound.(d) <- List.filter (fun id -> id <> tr.t_unit) st.dev_inbound.(d)
+  | To_storage _ -> ()
+  | To_reservoir n -> st.res_count.(n) <- st.res_count.(n) - 1
+
+(* ------------------------------------------------------------------ *)
+(* Reference occupancy primitives (the seed implementation, rebuilt per
+   query) *)
 
 let units_at_device st d_id =
   Array.to_list st.units |> List.filter (fun u -> u.loc = At_device d_id)
@@ -179,7 +369,7 @@ let units_at_or_heading st d_id =
   in
   units_at_device st d_id @ inbound
 
-let storage_edges st =
+let storage_edges_ref st =
   let arrived =
     Array.to_list st.units
     |> List.filter_map (fun u ->
@@ -200,7 +390,7 @@ let storage_edges st =
   arrived @ planned
 
 (* Nodes that resting fluids and busy devices make untouchable. *)
-let occupied_nodes st =
+let occupied_nodes_ref st =
   let set = Bitset.create (Graph.n_nodes st.g) in
   Array.iter
     (fun d ->
@@ -214,68 +404,147 @@ let occupied_nodes st =
       let u, v = Graph.endpoints st.g e in
       Bitset.add set u;
       Bitset.add set v)
-    (storage_edges st);
+    (storage_edges_ref st);
   set
 
-let transport_edge_set st extra_path =
+let transport_edge_set_ref st extra_path =
   let set = Bitset.create (Graph.n_edges st.g) in
   List.iter (fun tr -> List.iter (Bitset.add set) tr.t_path) st.transports;
   List.iter (Bitset.add set) extra_path;
   set
 
-let transport_node_set st extra_nodes =
+let transport_node_set_ref st extra_nodes =
   let set = Bitset.create (Graph.n_nodes st.g) in
   List.iter (fun tr -> List.iter (Bitset.add set) tr.t_nodes) st.transports;
   List.iter (Bitset.add set) extra_nodes;
   set
 
+(* ------------------------------------------------------------------ *)
+(* Queries: each consults the incremental view when [fast], or rebuilds
+   the answer the seed way otherwise. *)
+
+let first_unit_at st d_id =
+  if st.fast then
+    match st.dev_units.(d_id) with [] -> None | id :: _ -> Some st.units.(id)
+  else match units_at_device st d_id with [] -> None | u :: _ -> Some u
+
+let device_empty st d_id =
+  if st.fast then st.dev_units.(d_id) = [] && st.dev_inbound.(d_id) = []
+  else units_at_or_heading st d_id = []
+
+let all_at_or_heading st d_id pred =
+  if st.fast then
+    List.for_all pred st.dev_units.(d_id) && List.for_all pred st.dev_inbound.(d_id)
+  else List.for_all (fun u -> pred u.u_id) (units_at_or_heading st d_id)
+
+let exists_at_or_heading st d_id pred =
+  if st.fast then
+    List.exists pred st.dev_units.(d_id) || List.exists pred st.dev_inbound.(d_id)
+  else List.exists (fun u -> pred u.u_id) (units_at_or_heading st d_id)
+
+let port_vial_free st n =
+  if st.fast then st.res_count.(n) = 0
+  else begin
+    let occupied_ports =
+      (Array.to_list st.units
+      |> List.filter_map (fun u ->
+          match u.loc with
+          | At_reservoir n -> Some n
+          | Fresh | At_device _ | Stored _ | In_transit | Consumed -> None))
+      @ List.filter_map
+          (fun tr ->
+            match tr.t_dest with
+            | To_reservoir n -> Some n
+            | To_device _ | To_storage _ -> None)
+          st.transports
+    in
+    not (List.mem n occupied_ports)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Valve-sharing legality (Sec. 4.1): with the candidate path's control
    lines released on top of those of in-flight transports, every valve
    forced open off-path must not border a resting fluid, a busy device or
    any transport's route. *)
+
+let sharing_legal_ref st ~path ~nodes =
+  let inactive = Bitset.create (Chip.n_controls st.chip) in
+  let release_path edges =
+    List.iter
+      (fun e ->
+        match Chip.valve_on st.chip e with
+        | Some v -> Bitset.add inactive v.control
+        | None -> ())
+      edges
+  in
+  release_path path;
+  List.iter (fun tr -> release_path tr.t_path) st.transports;
+  let moving_edges = transport_edge_set_ref st path in
+  let protected_nodes =
+    let set = occupied_nodes_ref st in
+    Bitset.union_into set (transport_node_set_ref st nodes);
+    set
+  in
+  Array.for_all
+    (fun (v : Chip.valve) ->
+      (not (Bitset.mem inactive v.control))
+      || Bitset.mem moving_edges v.edge
+      ||
+      let a, b = Graph.endpoints st.g v.edge in
+      (not (Bitset.mem protected_nodes a)) && not (Bitset.mem protected_nodes b))
+    (Chip.valves st.chip)
+
+(* Fast variant: temporarily overlay the candidate path on the in-flight
+   counters, run an O(valves) scan against them, then peel the overlay off
+   — no allocation, no set rebuilds. *)
+let sharing_legal_fast st ~path ~nodes =
+  let p = st.prep in
+  let bump delta =
+    List.iter
+      (fun e ->
+        st.te_count.(e) <- st.te_count.(e) + delta;
+        let c = p.P.edge_control.(e) in
+        if c >= 0 then st.ctrl_release.(c) <- st.ctrl_release.(c) + delta)
+      path;
+    List.iter (fun n -> st.tn_count.(n) <- st.tn_count.(n) + delta) nodes
+  in
+  bump 1;
+  let prot n = Bitset.mem st.occ_nodes n || st.tn_count.(n) > 0 in
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < p.P.n_valves do
+    let c = p.P.valve_control.(!v) in
+    let e = p.P.valve_edge.(!v) in
+    if st.ctrl_release.(c) > 0 && st.te_count.(e) = 0 then begin
+      let a = p.P.edge_u.(e) and b = p.P.edge_v.(e) in
+      if prot a || prot b then ok := false
+    end;
+    incr v
+  done;
+  bump (-1);
+  !ok
+
 let sharing_legal st ~path ~nodes =
   if not st.opts.respect_sharing then true
-  else begin
-    let inactive = Bitset.create (Chip.n_controls st.chip) in
-    let release_path edges =
-      List.iter
-        (fun e ->
-          match Chip.valve_on st.chip e with
-          | Some v -> Bitset.add inactive v.control
-          | None -> ())
-        edges
-    in
-    release_path path;
-    List.iter (fun tr -> release_path tr.t_path) st.transports;
-    let moving_edges = transport_edge_set st path in
-    let protected_nodes =
-      let set = occupied_nodes st in
-      Bitset.union_into set (transport_node_set st nodes);
-      set
-    in
-    Array.for_all
-      (fun (v : Chip.valve) ->
-        (not (Bitset.mem inactive v.control))
-        || Bitset.mem moving_edges v.edge
-        ||
-        let a, b = Graph.endpoints st.g v.edge in
-        (not (Bitset.mem protected_nodes a)) && not (Bitset.mem protected_nodes b))
-      (Chip.valves st.chip)
-  end
+  else if st.fast then sharing_legal_fast st ~path ~nodes
+  else sharing_legal_ref st ~path ~nodes
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
 
 (* BFS routing from any of [srcs] to [dst] through free channels avoiding
    occupied nodes; returns (src, edge path). *)
-let route st ~srcs ~dst =
-  let occupied = occupied_nodes st in
-  let moving_edges = transport_edge_set st [] in
-  let moving_nodes = transport_node_set st [] in
+let route_ref st ~srcs ~dst =
+  let occupied = occupied_nodes_ref st in
+  let moving_edges = transport_edge_set_ref st [] in
+  let moving_nodes = transport_node_set_ref st [] in
   let node_ok n =
     n = dst || List.mem n srcs
     || ((not (Bitset.mem occupied n)) && not (Bitset.mem moving_nodes n))
   in
-  let storage = storage_edges st in
+  let storage = storage_edges_ref st in
   let edge_ok e =
-    Bitset.mem st.channels e
+    Bitset.mem st.prep.P.channels e
     && (not (Bitset.mem moving_edges e))
     && (not (List.mem e storage))
     &&
@@ -296,10 +565,124 @@ let route st ~srcs ~dst =
     srcs;
   Option.map (fun (src, path, _) -> (src, path)) !best
 
-let push_event st ev = st.events <- ev :: st.events
+(* Scratch-array BFS.  Visits neighbours in [Graph.incident] order (the
+   CSR arrays preserve it), stops as soon as [dst] is discovered — its
+   parent pointers are final at discovery time — and prunes expansion at
+   depth [cap - 1]: a path of length >= cap can never replace the best
+   found so far, which requires a strictly shorter one.  Returns the path
+   length, or -1; parent pointers in scratch A describe the path. *)
+let bfs_to_dst st ~edge_ok ~src ~dst ~cap =
+  if src = dst then if 0 < cap then 0 else -1
+  else begin
+    let p = st.prep in
+    st.epoch_a <- st.epoch_a + 1;
+    let ep = st.epoch_a in
+    st.stamp_a.(src) <- ep;
+    st.dist_a.(src) <- 0;
+    st.q.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    let found = ref (-1) in
+    (try
+       while !head < !tail do
+         let u = st.q.(!head) in
+         incr head;
+         let du = st.dist_a.(u) in
+         if du + 1 < cap then
+           for k = p.P.adj_off.(u) to p.P.adj_off.(u + 1) - 1 do
+             let e = p.P.adj_edge.(k) in
+             let v = p.P.adj_node.(k) in
+             if st.stamp_a.(v) <> ep && edge_ok e then begin
+               st.stamp_a.(v) <- ep;
+               st.dist_a.(v) <- du + 1;
+               st.pedge.(v) <- e;
+               st.pnode.(v) <- u;
+               if v = dst then begin
+                 found := du + 1;
+                 raise Exit
+               end;
+               st.q.(!tail) <- v;
+               incr tail
+             end
+           done
+       done
+     with Exit -> ());
+    !found
+  end
+
+let unwind_scratch st ~src ~dst =
+  let rec go v acc = if v = src then acc else go st.pnode.(v) (st.pedge.(v) :: acc) in
+  go dst []
+
+(* Full single-source BFS distances into scratch A (no early exit). *)
+let bfs_all st ~edge_ok ~src =
+  let p = st.prep in
+  st.epoch_a <- st.epoch_a + 1;
+  let ep = st.epoch_a in
+  st.stamp_a.(src) <- ep;
+  st.dist_a.(src) <- 0;
+  st.q.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = st.q.(!head) in
+    incr head;
+    let du = st.dist_a.(u) in
+    for k = p.P.adj_off.(u) to p.P.adj_off.(u + 1) - 1 do
+      let e = p.P.adj_edge.(k) in
+      let v = p.P.adj_node.(k) in
+      if st.stamp_a.(v) <> ep && edge_ok e then begin
+        st.stamp_a.(v) <- ep;
+        st.dist_a.(v) <- du + 1;
+        st.q.(!tail) <- v;
+        incr tail
+      end
+    done
+  done
+
+let route_fast st ~srcs ~dst =
+  let p = st.prep in
+  st.epoch_s <- st.epoch_s + 1;
+  let es = st.epoch_s in
+  List.iter (fun n -> st.smark.(n) <- es) srcs;
+  let node_ok n =
+    n = dst || st.smark.(n) = es
+    || ((not (Bitset.mem st.occ_nodes n)) && st.tn_count.(n) = 0)
+  in
+  let edge_ok e =
+    Bitset.mem p.P.channels e
+    && st.te_count.(e) = 0
+    && (not (Bitset.mem st.storage e))
+    && node_ok p.P.edge_u.(e)
+    && node_ok p.P.edge_v.(e)
+  in
+  let best = ref None in
+  List.iter
+    (fun src ->
+      let cap = match !best with Some (_, _, l) -> l | None -> max_int in
+      match bfs_to_dst st ~edge_ok ~src ~dst ~cap with
+      | -1 -> ()
+      | 0 -> best := Some (src, [], 0)
+      | len -> best := Some (src, unwind_scratch st ~src ~dst, len))
+    srcs;
+  Option.map (fun (src, path, _) -> (src, path)) !best
+
+let route st ~srcs ~dst =
+  st.c_routes <- st.c_routes + 1;
+  if st.fast then route_fast st ~srcs ~dst else route_ref st ~srcs ~dst
+
+let push_event st ev = if st.record_events then st.events <- ev :: st.events
+
+let path_nodes st ~src path =
+  let p = st.prep in
+  let rec walk u acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let v = if p.P.edge_u.(e) = u then p.P.edge_v.(e) else p.P.edge_u.(e) in
+      walk v (v :: acc) rest
+  in
+  walk src [ src ] path
 
 let begin_transport st time u ~src ~path ~dest =
-  let nodes = Mf_graph.Traverse.path_nodes st.g ~src path in
+  let nodes = path_nodes st ~src path in
   if not (sharing_legal st ~path ~nodes) then false
   else begin
     (* cross-contamination washing: flush segments whose residue belongs to
@@ -318,9 +701,10 @@ let begin_transport st time u ~src ~path ~dest =
       List.iter (fun e -> st.last_user.(e) <- me) path
     end;
     let duration = (List.length path * st.opts.transport_cost) + (dirty * st.opts.wash_penalty) in
-    u.loc <- In_transit;
+    set_loc st u In_transit;
     let finish = time + duration in
-    st.transports <- { t_unit = u.u_id; t_path = path; t_nodes = nodes; t_dest = dest; t_finish = finish } :: st.transports;
+    add_transport st
+      { t_unit = u.u_id; t_path = path; t_nodes = nodes; t_dest = dest; t_finish = finish };
     st.n_transports <- st.n_transports + 1;
     st.transport_time <- st.transport_time + duration;
     push_event st (Schedule.Transport_started { unit_id = u.u_id; path; time; finish });
@@ -330,11 +714,11 @@ let begin_transport st time u ~src ~path ~dest =
 (* ------------------------------------------------------------------ *)
 (* Storage eviction *)
 
-let storage_site st ~from_node =
-  let occupied = occupied_nodes st in
-  let moving_edges = transport_edge_set st [] in
-  let moving_nodes = transport_node_set st [] in
-  let storage = storage_edges st in
+let storage_site_ref st ~from_node =
+  let occupied = occupied_nodes_ref st in
+  let moving_edges = transport_edge_set_ref st [] in
+  let moving_nodes = transport_node_set_ref st [] in
+  let storage = storage_edges_ref st in
   let plain_node n =
     (not (Bitset.mem occupied n))
     && (not (Bitset.mem moving_nodes n))
@@ -343,7 +727,7 @@ let storage_site st ~from_node =
   in
   let node_ok n = n = from_node || plain_node n in
   let edge_ok e =
-    Bitset.mem st.channels e
+    Bitset.mem st.prep.P.channels e
     && (not (Bitset.mem moving_edges e))
     && (not (List.mem e storage))
     &&
@@ -356,7 +740,7 @@ let storage_site st ~from_node =
     let boundary n =
       Graph.incident st.g n
       |> List.for_all (fun (f, _) ->
-          f = e || (not (Bitset.mem st.channels f))
+          f = e || (not (Bitset.mem st.prep.P.channels f))
           || Chip.valve_on st.chip f <> None)
     in
     boundary u && boundary v
@@ -376,7 +760,7 @@ let storage_site st ~from_node =
     block e;
     List.iter block storage;
     let open_edge f =
-      Bitset.mem st.channels f
+      Bitset.mem st.prep.P.channels f
       && f <> e
       && (not (List.mem f storage))
       &&
@@ -401,7 +785,7 @@ let storage_site st ~from_node =
     let device n = Chip.device_at st.chip n <> None in
     let open_edge f =
       f <> e
-      && Bitset.mem st.channels f
+      && Bitset.mem st.prep.P.channels f
       && (not (List.mem f storage))
       &&
       let u, v = Graph.endpoints st.g f in
@@ -438,10 +822,167 @@ let storage_site st ~from_node =
      | None -> None
      | Some path -> Some (e, path @ [ e ]))
 
+(* Fast connectivity probe for a candidate pocket: mark the endpoints the
+   candidate and existing storage would block, then one early-exit BFS
+   counting how many unblocked hubs (ports and devices) stay mutually
+   reachable. *)
+let keeps_network_connected_fast st cand =
+  let p = st.prep in
+  st.epoch_m <- st.epoch_m + 1;
+  let em = st.epoch_m in
+  let block f =
+    st.bmark.(p.P.edge_u.(f)) <- em;
+    st.bmark.(p.P.edge_v.(f)) <- em
+  in
+  block cand;
+  Bitset.iter (fun f -> block f) st.storage;
+  let blocked n = st.bmark.(n) = em in
+  let open_edge f =
+    Bitset.mem p.P.channels f
+    && f <> cand
+    && (not (Bitset.mem st.storage f))
+    && (not (blocked p.P.edge_u.(f)))
+    && not (blocked p.P.edge_v.(f))
+  in
+  let hub_total = ref 0 in
+  let first_hub = ref (-1) in
+  let scan arr =
+    Array.iter
+      (fun n ->
+        if not (blocked n) then begin
+          incr hub_total;
+          if !first_hub < 0 then first_hub := n
+        end)
+      arr
+  in
+  scan p.P.port_node;
+  scan p.P.dev_node;
+  if !first_hub < 0 then false
+  else begin
+    st.epoch_b <- st.epoch_b + 1;
+    let eb = st.epoch_b in
+    let reached = ref 0 in
+    let is_hub n = p.P.device_of.(n) >= 0 || p.P.port_of.(n) >= 0 in
+    let visit n =
+      st.stamp_b.(n) <- eb;
+      if is_hub n && not (blocked n) then incr reached
+    in
+    visit !first_hub;
+    st.q_b.(0) <- !first_hub;
+    let head = ref 0 and tail = ref 1 in
+    (try
+       while !head < !tail do
+         if !reached = !hub_total then raise Exit;
+         let u = st.q_b.(!head) in
+         incr head;
+         for k = p.P.adj_off.(u) to p.P.adj_off.(u + 1) - 1 do
+           let f = p.P.adj_edge.(k) in
+           let v = p.P.adj_node.(k) in
+           if st.stamp_b.(v) <> eb && open_edge f then begin
+             visit v;
+             st.q_b.(!tail) <- v;
+             incr tail
+           end
+         done
+       done
+     with Exit -> ());
+    !reached = !hub_total
+  end
+
+let egress_ok_fast st cand =
+  let p = st.prep in
+  let eu = p.P.edge_u.(cand) and ev = p.P.edge_v.(cand) in
+  let ok_node n = n = eu || n = ev || p.P.device_of.(n) < 0 in
+  let open_edge f =
+    f <> cand
+    && Bitset.mem p.P.channels f
+    && (not (Bitset.mem st.storage f))
+    && ok_node p.P.edge_u.(f)
+    && ok_node p.P.edge_v.(f)
+  in
+  st.epoch_b <- st.epoch_b + 1;
+  let eb = st.epoch_b in
+  st.stamp_b.(eu) <- eb;
+  st.q_b.(0) <- eu;
+  let head = ref 0 and tail = ref 1 in
+  let found = ref (p.P.port_of.(eu) >= 0) in
+  (try
+     while !head < !tail do
+       let u = st.q_b.(!head) in
+       incr head;
+       for k = p.P.adj_off.(u) to p.P.adj_off.(u + 1) - 1 do
+         let f = p.P.adj_edge.(k) in
+         let v = p.P.adj_node.(k) in
+         if st.stamp_b.(v) <> eb && open_edge f then begin
+           st.stamp_b.(v) <- eb;
+           if p.P.port_of.(v) >= 0 then begin
+             found := true;
+             raise Exit
+           end;
+           st.q_b.(!tail) <- v;
+           incr tail
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let storage_site_fast st ~from_node =
+  let p = st.prep in
+  let plain_node n =
+    (not (Bitset.mem st.occ_nodes n))
+    && st.tn_count.(n) = 0
+    && p.P.device_of.(n) < 0
+    && p.P.port_of.(n) < 0
+  in
+  let node_ok n = n = from_node || plain_node n in
+  let edge_ok e =
+    Bitset.mem p.P.channels e
+    && st.te_count.(e) = 0
+    && (not (Bitset.mem st.storage e))
+    && node_ok p.P.edge_u.(e)
+    && node_ok p.P.edge_v.(e)
+  in
+  bfs_all st ~edge_ok ~src:from_node;
+  let ep = st.epoch_a in
+  let dist n = if st.stamp_a.(n) = ep then st.dist_a.(n) else max_int in
+  (* Ascending edge scan, strictly-smaller distance wins, exactly like the
+     reference; the expensive connectivity probes run only for candidates
+     that would actually improve, which cannot change the winner (the
+     probes are independent of the incumbent). *)
+  let best_e = ref (-1) in
+  let best_d = ref max_int in
+  for e = 0 to p.P.n_edges - 1 do
+    if Bitset.mem p.P.enclosed e && edge_ok e then begin
+      let u = p.P.edge_u.(e) and v = p.P.edge_v.(e) in
+      if u <> from_node && v <> from_node && plain_node u && plain_node v then begin
+        let d = min (dist u) (dist v) in
+        if d < !best_d && keeps_network_connected_fast st e && egress_ok_fast st e then begin
+          best_e := e;
+          best_d := d
+        end
+      end
+    end
+  done;
+  if !best_e < 0 then None
+  else begin
+    let e = !best_e in
+    let u = p.P.edge_u.(e) and v = p.P.edge_v.(e) in
+    let target = if dist u <= dist v then u else v in
+    (* the path BFS below recycles scratch A, so [dist] is dead past here *)
+    match bfs_to_dst st ~edge_ok ~src:from_node ~dst:target ~cap:max_int with
+    | -1 -> None
+    | 0 -> Some (e, [ e ])
+    | _ -> Some (e, unwind_scratch st ~src:from_node ~dst:target @ [ e ])
+  end
+
+let storage_site st ~from_node =
+  if st.fast then storage_site_fast st ~from_node else storage_site_ref st ~from_node
+
 let try_evict st time d =
-  match units_at_device st d.d_id with
-  | [] -> false
-  | u :: _ ->
+  match first_unit_at st d.d_id with
+  | None -> false
+  | Some u ->
     if not st.opts.allow_storage then false
     else begin
       let to_pocket () =
@@ -455,17 +996,14 @@ let try_evict st time d =
       (* fall back to parking in an idle, empty, unreserved device: chambers
          double as storage when the channel pockets are full ([5]) *)
       let to_device () =
-        let kind_count k =
-          Array.fold_left (fun n d' -> if d'.d_kind = k then n + 1 else n) 0 st.devs
-        in
         Array.to_list st.devs
         |> List.filter (fun d' ->
             d'.d_id <> d.d_id && d'.d_run = Idle && d'.reserved_by = None
-            && units_at_or_heading st d'.d_id = []
+            && device_empty st d'.d_id
             (* never park in the only device of a kind: operations of that
                kind would wait behind the parked fluid, a circular-wait
                recipe *)
-            && kind_count d'.d_kind > 1)
+            && st.kind_counts.(kind_index d'.d_kind) > 1)
         |> List.exists (fun d' ->
             match route st ~srcs:[ d.d_node ] ~dst:d'.d_node with
             | None | Some (_, []) -> false
@@ -477,21 +1015,8 @@ let try_evict st time d =
       (* last resort: push the sample off-chip into a port vial (one fluid
          per port); the round trip is paid in transport time *)
       let to_reservoir () =
-        let occupied_ports =
-          (Array.to_list st.units
-          |> List.filter_map (fun u ->
-              match u.loc with
-              | At_reservoir n -> Some n
-              | Fresh | At_device _ | Stored _ | In_transit | Consumed -> None))
-          @ List.filter_map
-              (fun tr ->
-                match tr.t_dest with
-                | To_reservoir n -> Some n
-                | To_device _ | To_storage _ -> None)
-              st.transports
-        in
         st.port_nodes
-        |> List.filter (fun n -> not (List.mem n occupied_ports))
+        |> List.filter (fun n -> port_vial_free st n)
         |> List.exists (fun n ->
             match route st ~srcs:[ d.d_node ] ~dst:n with
             | None | Some (_, []) -> false
@@ -517,7 +1042,7 @@ let unit_source_nodes st u =
   | In_transit | Consumed -> []
 
 let clear_for st j d =
-  List.for_all (fun u -> List.mem u.u_id st.inputs_of.(j)) (units_at_or_heading st d.d_id)
+  all_at_or_heading st d.d_id (fun u_id -> List.mem u_id st.inputs_of.(j))
 
 let bind st j =
   match st.op_bound.(j) with
@@ -529,11 +1054,11 @@ let bind st j =
       |> List.filter (fun d -> d.d_kind = kind && d.d_run = Idle && d.reserved_by = None)
     in
     let holds_input d =
-      List.exists (fun u -> List.mem u.u_id st.inputs_of.(j)) (units_at_or_heading st d.d_id)
+      exists_at_or_heading st d.d_id (fun u_id -> List.mem u_id st.inputs_of.(j))
     in
     let score d =
       if holds_input d && clear_for st j d then 0
-      else if units_at_or_heading st d.d_id = [] then 1
+      else if device_empty st d.d_id then 1
       else 2 (* needs eviction *)
     in
     let sorted = List.sort (fun a b -> compare (score a, a.d_id) (score b, b.d_id)) candidates in
@@ -573,7 +1098,7 @@ let try_advance_op st time j =
              ignore src;
              (* already adjacent: the unit sits on a storage edge touching
                 the device, or a port shares the node — arrive instantly *)
-             u.loc <- At_device d.d_id;
+             set_loc st u (At_device d.d_id);
              changed := true
            | Some (src, path) ->
              if begin_transport st time u ~src ~path ~dest:(To_device d.d_id) then
@@ -581,9 +1106,9 @@ let try_advance_op st time j =
         | Consumed -> all_arrived := false (* producer not finished: unreachable here *))
       st.inputs_of.(j);
     if !all_arrived && clear_for st j d then begin
-      List.iter (fun u_id -> st.units.(u_id).loc <- Consumed) st.inputs_of.(j);
+      List.iter (fun u_id -> set_loc st st.units.(u_id) Consumed) st.inputs_of.(j);
       let op = Seqgraph.op st.app j in
-      d.d_run <- Running (j, time + op.duration);
+      set_run st d (Running (j, time + op.duration));
       d.reserved_by <- None;
       st.op_started.(j) <- true;
       push_event st (Schedule.Op_started { op = j; device = d.d_id; time });
@@ -619,24 +1144,25 @@ let complete_at st time =
   st.transports <- still;
   List.iter
     (fun tr ->
+      drop_transport st tr;
       let u = st.units.(tr.t_unit) in
       match tr.t_dest with
-      | To_device d -> u.loc <- At_device d
+      | To_device d -> set_loc st u (At_device d)
       | To_storage e ->
-        u.loc <- Stored e;
+        set_loc st u (Stored e);
         push_event st (Schedule.Unit_stored { unit_id = u.u_id; edge = e; time })
       | To_reservoir n ->
-        u.loc <- At_reservoir n;
+        set_loc st u (At_reservoir n);
         push_event st (Schedule.Unit_parked { unit_id = u.u_id; port_node = n; time }))
     arriving;
   Array.iter
     (fun d ->
       match d.d_run with
       | Running (j, finish) when finish = time ->
-        d.d_run <- Idle;
+        set_run st d Idle;
         st.op_finished.(j) <- true;
         st.op_finish_time.(j) <- time;
-        List.iter (fun u_id -> st.units.(u_id).loc <- At_device d.d_id) st.outputs_of.(j);
+        List.iter (fun u_id -> set_loc st st.units.(u_id) (At_device d.d_id)) st.outputs_of.(j);
         push_event st (Schedule.Op_finished { op = j; device = d.d_id; time })
       | Running _ | Idle -> ())
     st.devs
@@ -692,7 +1218,20 @@ let dump_state st time =
     st.units;
   Format.fprintf ppf "--@]@."
 
-let run ?(options = default_options) chip app =
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let prof_flush st ~cut =
+  Atomic.incr Stats.runs;
+  ignore (Atomic.fetch_and_add Stats.steps st.c_steps);
+  ignore (Atomic.fetch_and_add Stats.routes st.c_routes);
+  if cut then Atomic.incr Stats.cutoffs;
+  Mf_util.Prof.add_count "sched.runs" 1;
+  Mf_util.Prof.add_count "sched.steps" st.c_steps;
+  Mf_util.Prof.add_count "sched.routes" st.c_routes;
+  if cut then Mf_util.Prof.add_count "sched.cutoffs" 1
+
+let exec ~options ~prep ~fast ~record_events ~cutoff chip app =
   (* every op kind used must have a device *)
   let missing =
     Array.to_list (Seqgraph.ops app)
@@ -701,38 +1240,63 @@ let run ?(options = default_options) chip app =
         not (Array.exists (fun (d : Chip.device) -> d.kind = kind) (Chip.devices chip)))
   in
   match missing with
-  | Some o -> Error (Schedule.No_device o.kind)
+  | Some o -> Error (`Failure (Schedule.No_device o.kind))
   | None ->
-    let st = init chip app options in
-    let n = Seqgraph.n_ops app in
+    let prep = match prep with Some p -> p | None -> Prep.of_chip chip in
+    let st = init chip prep app options ~fast ~record_events in
     let all_done () = Array.for_all Fun.id st.op_finished in
+    let finish r ~cut =
+      prof_flush st ~cut;
+      r
+    in
     let rec loop time =
-      if time > options.horizon then Error (Schedule.Timeout time)
+      st.c_steps <- st.c_steps + 1;
+      if time > options.horizon then finish (Error (`Failure (Schedule.Timeout time))) ~cut:false
+      else if float_of_int time > cutoff then finish (Error `Cut) ~cut:true
       else begin
         complete_at st time;
         ignore (try_progress st time);
-        if all_done () then begin
-          let makespan = Array.fold_left max 0 st.op_finish_time in
-          Ok
-            {
-              Schedule.makespan;
-              events = List.rev st.events;
-              n_transports = st.n_transports;
-              transport_time = st.transport_time;
-              n_stored = st.n_stored;
-              n_washes = st.n_washes;
-            }
-        end
+        if all_done () then
+          finish
+            (Ok
+               {
+                 Schedule.makespan = Array.fold_left max 0 st.op_finish_time;
+                 events = List.rev st.events;
+                 n_transports = st.n_transports;
+                 transport_time = st.transport_time;
+                 n_stored = st.n_stored;
+                 n_washes = st.n_washes;
+               })
+            ~cut:false
         else
           match next_event_time st with
           | Some t -> loop t
           | None ->
-            if Sys.getenv_opt "MFDFT_SCHED_DEBUG" <> None then dump_state st time;
-            Error (Schedule.Deadlock time)
+            if Lazy.force debug_enabled then dump_state st time;
+            finish (Error (`Failure (Schedule.Deadlock time))) ~cut:false
       end
     in
-    ignore n;
     loop 0
 
-let makespan ?options chip app =
-  match run ?options chip app with Ok s -> Some s.Schedule.makespan | Error _ -> None
+let run ?(options = default_options) ?prep chip app =
+  match exec ~options ~prep ~fast:true ~record_events:true ~cutoff:infinity chip app with
+  | Ok s -> Ok s
+  | Error (`Failure f) -> Error f
+  | Error `Cut -> assert false (* cutoff = infinity never triggers *)
+
+let run_reference ?(options = default_options) chip app =
+  match exec ~options ~prep:None ~fast:false ~record_events:true ~cutoff:infinity chip app with
+  | Ok s -> Ok s
+  | Error (`Failure f) -> Error f
+  | Error `Cut -> assert false
+
+let makespan ?(options = default_options) ?prep chip app =
+  match exec ~options ~prep ~fast:true ~record_events:false ~cutoff:infinity chip app with
+  | Ok s -> Some s.Schedule.makespan
+  | Error _ -> None
+
+let makespan_until ?(options = default_options) ?prep ~cutoff chip app =
+  match exec ~options ~prep ~fast:true ~record_events:false ~cutoff chip app with
+  | Ok s -> `Makespan s.Schedule.makespan
+  | Error (`Failure f) -> `Failed f
+  | Error `Cut -> `Cutoff

@@ -35,12 +35,67 @@ type options = {
 
 val default_options : options
 
+(** Global event-loop counters, accumulated across every simulation since
+    start (or the last {!Stats.reset}).  Atomic, so concurrent fitness
+    workers update them safely; also mirrored into {!Mf_util.Prof} as
+    [sched.runs]/[sched.steps]/[sched.routes]/[sched.cutoffs] when
+    [MFDFT_PROF=1]. *)
+module Stats : sig
+  type snapshot = {
+    runs : int;  (** simulations executed *)
+    steps : int;  (** event-loop iterations *)
+    routes : int;  (** routing queries answered *)
+    cutoffs : int;  (** simulations aborted by {!makespan_until}'s bound *)
+  }
+
+  val reset : unit -> unit
+  val snapshot : unit -> snapshot
+end
+
 val run :
+  ?options:options ->
+  ?prep:Prep.t ->
+  Mf_arch.Chip.t ->
+  Mf_bioassay.Seqgraph.t ->
+  (Schedule.t, Schedule.failure) result
+(** Simulate [app] on [chip] and return the full schedule (events
+    included).  [?prep] supplies a prebuilt {!Prep.t} for [chip] — it
+    {b must} describe the same chip (same grid, valve placement and
+    control wiring) or the simulation is meaningless; when absent the
+    cache is built on the fly. *)
+
+val run_reference :
   ?options:options ->
   Mf_arch.Chip.t ->
   Mf_bioassay.Seqgraph.t ->
   (Schedule.t, Schedule.failure) result
+(** Same simulation, but every occupancy/routing query rebuilds its answer
+    from first principles (the pre-cache seed implementation) instead of
+    consulting the incrementally maintained bitsets.  Slow; exists as the
+    oracle for differential tests and the bench gate. *)
 
-val makespan : ?options:options -> Mf_arch.Chip.t -> Mf_bioassay.Seqgraph.t -> int option
+val makespan :
+  ?options:options -> ?prep:Prep.t -> Mf_arch.Chip.t -> Mf_bioassay.Seqgraph.t -> int option
 (** [makespan chip app] is the execution time, or [None] when the
-    application cannot complete (the PSO fitness maps this to infinity). *)
+    application cannot complete (the PSO fitness maps this to infinity).
+    Event recording is disabled — the fitness hot loop allocates no event
+    list. *)
+
+val makespan_until :
+  ?options:options ->
+  ?prep:Prep.t ->
+  cutoff:float ->
+  Mf_arch.Chip.t ->
+  Mf_bioassay.Seqgraph.t ->
+  [ `Makespan of int | `Cutoff | `Failed of Schedule.failure ]
+(** Bounded-makespan entry point for branch-and-bound-style fitness: the
+    simulation aborts with [`Cutoff] as soon as simulated time strictly
+    exceeds [cutoff], i.e. as soon as the final makespan is guaranteed to
+    be [> cutoff].  Guarantees:
+    - [cutoff = infinity] never cuts and is bit-identical to {!makespan};
+    - if the true makespan [m <= cutoff], returns [`Makespan m] exactly;
+    - [`Cutoff] implies the true fitness (makespan or failure penalty)
+      exceeds [cutoff] — both because [m >= elapsed > cutoff] for
+      completing runs, and because the failure penalties ([Deadlock]/
+      [Timeout] at [10 * 1e5]) exceed any cutoff a horizon-bounded run can
+      reach ([cutoff < elapsed <= horizon = 1e6]). *)
