@@ -13,6 +13,8 @@
      dune exec bench/main.exe -- perf-baseline -- rewrite the BENCH_ilp.json baseline
      dune exec bench/main.exe -- sched        -- scheduler fast path, gated vs BENCH_sched.json
      dune exec bench/main.exe -- sched-baseline -- rewrite the BENCH_sched.json baseline
+     dune exec bench/main.exe -- scale        -- chip-family size sweep, gated vs BENCH_scale.json
+     dune exec bench/main.exe -- scale-baseline -- rewrite the BENCH_scale.json baseline
 
    Absolute times differ from the paper (different workload realisations and
    a simulated substrate); the comparisons that matter are the shapes:
@@ -689,6 +691,110 @@ let sched ~write_baseline () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Family scaling sweep: makespan simulation and ILP path synthesis wall
+   clock versus chip size, across every family in [Mf_chips.Families] —
+   the first evidence the pipeline behaves off the 3-chip benchmark
+   manifold.  Chip and assay are a pure function of (family, size), so
+   every non-wall column is deterministic and gated exactly against
+   BENCH_scale.json. *)
+
+module Families = Mf_chips.Families
+module Synth_assay = Mf_bioassay.Synth_assay
+
+let scale_baseline_path = "BENCH_scale.json"
+
+let scale_point (f : Families.family) size =
+  let salt =
+    match f.Families.name with "ring" -> 1 | "fpva" -> 2 | "storage" -> 3 | _ -> 9
+  in
+  let rng = Rng.create ~seed:(7000 + (1000 * salt) + size) in
+  let chip = f.Families.generate_size ~size rng in
+  let profile =
+    match f.Families.profile with
+    | Families.Balanced -> Synth_assay.Balanced
+    | Families.Storage_pressure -> Synth_assay.Storage_pressure
+  in
+  let spec = Synth_assay.spec_of_size ~profile (f.Families.assay_ops ~size) in
+  let app = Synth_assay.generate ~spec rng in
+  let now = Unix.gettimeofday in
+  let prep = Mf_sched.Prep.of_chip chip in
+  let makespan = Mf_sched.Scheduler.makespan ~prep chip app in
+  let reps = 5 in
+  let t0 = now () in
+  for _ = 1 to reps do
+    ignore (Mf_sched.Scheduler.makespan ~prep chip app)
+  done;
+  let sched_ms = (now () -. t0) *. 1e3 /. float_of_int reps in
+  let t0 = now () in
+  let path = Mf_testgen.Pathgen.generate ~node_limit:400 chip in
+  let ilp_ms = (now () -. t0) *. 1e3 in
+  let added, paths =
+    match path with
+    | Ok c -> (List.length c.Mf_testgen.Pathgen.added_edges, c.Mf_testgen.Pathgen.n_paths)
+    | Error _ -> (-1, -1)
+  in
+  let count_channels chip =
+    let n = ref 0 in
+    Mf_graph.Graph.iter_edges
+      (fun e _ _ -> if Chip.is_channel chip e then incr n)
+      (Mf_grid.Grid.graph (Chip.grid chip));
+    !n
+  in
+  {
+    Perf_json.c_name = Printf.sprintf "%s/%d" f.Families.name size;
+    c_channels = count_channels chip;
+    c_valves = Chip.n_valves chip;
+    c_sched_ms = sched_ms;
+    c_makespan = (match makespan with Some m -> m | None -> -1);
+    c_ilp_ms = ilp_ms;
+    c_added = added;
+    c_paths = paths;
+  }
+
+let scale ~write_baseline () =
+  Format.printf "@.== Scale: makespan / ILP wall clock vs chip size, per family ==@.@.";
+  Format.printf "%-12s %9s %8s %10s %10s %10s %7s %7s@." "family/size" "channels" "valves"
+    "sched[ms]" "makespan" "ilp[ms]" "added" "paths";
+  let entries =
+    List.concat_map
+      (fun (f : Families.family) ->
+        List.map
+          (fun size ->
+            let e = scale_point f size in
+            Format.printf "%-12s %9d %8d %10.2f %10d %10.0f %7d %7d@." e.Perf_json.c_name
+              e.Perf_json.c_channels e.Perf_json.c_valves e.Perf_json.c_sched_ms
+              e.Perf_json.c_makespan e.Perf_json.c_ilp_ms e.Perf_json.c_added
+              e.Perf_json.c_paths;
+            e)
+          f.Families.sweep_sizes)
+      Families.all
+  in
+  let doc = { Perf_json.c_jobs = jobs; c_entries = entries } in
+  if write_baseline then begin
+    Perf_json.save_scale scale_baseline_path doc;
+    Format.printf "@.baseline written to %s@." scale_baseline_path
+  end
+  else begin
+    match Perf_json.load_scale scale_baseline_path with
+    | Error msg ->
+      Format.printf "@.no usable baseline (%s); run `bench -- scale-baseline` to create one@."
+        msg
+    | Ok baseline ->
+      let failures, notes = Perf_json.compare_scale ~baseline doc in
+      List.iter (fun m -> Format.printf "note: %s@." m) notes;
+      (match failures with
+       | [] ->
+         Format.printf
+           "scale gate: PASS (within %.0f%% of baseline wall, shapes/makespans/objectives \
+            exact)@."
+           ((Perf_json.tolerance -. 1.) *. 100.)
+       | failures ->
+         Format.printf "scale gate: FAIL@.";
+         List.iter (fun m -> Format.printf "  - %s@." m) failures;
+         exit 1)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
 
 let micro () =
@@ -785,6 +891,9 @@ let () =
   (* sched is explicit-only for the same reason: gated vs BENCH_sched.json *)
   if List.mem "sched" args then sched ~write_baseline:false ();
   if List.mem "sched-baseline" args then sched ~write_baseline:true ();
+  (* scale too: family sweep gated vs BENCH_scale.json *)
+  if List.mem "scale" args then scale ~write_baseline:false ();
+  if List.mem "scale-baseline" args then scale ~write_baseline:true ();
   (* chaos is opt-in only: it deliberately breaks determinism *)
   if List.mem "chaos" args then chaos_bench ();
   if List.mem "verify" args || List.mem "all" args then verify_bench ();

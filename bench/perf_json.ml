@@ -254,6 +254,40 @@ let save_sched path doc =
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
 
 (* ------------------------------------------------------------------ *)
+(* family scaling sweep (bench -- scale / BENCH_scale.json) *)
+
+type scale_entry = {
+  c_name : string; (* "family/size" *)
+  c_channels : int; (* channel edges of the generated chip *)
+  c_valves : int;
+  c_sched_ms : float; (* makespan simulation wall clock *)
+  c_makespan : int; (* -1 = application failed to complete *)
+  c_ilp_ms : float; (* pathgen wall clock *)
+  c_added : int; (* DFT edges added; the ILP objective *)
+  c_paths : int;
+}
+
+type scale_doc = { c_jobs : int; c_entries : scale_entry list }
+
+let scale_schema = "mfdft-bench-scale-v1"
+
+let save_scale path doc =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" scale_schema doc.c_jobs;
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"name\": \"%s\", \"channels\": %d, \"valves\": %d, \"sched_ms\": %.2f,\n\
+        \     \"makespan\": %d, \"ilp_ms\": %.1f, \"added\": %d, \"paths\": %d}%s\n"
+        e.c_name e.c_channels e.c_valves e.c_sched_ms e.c_makespan e.c_ilp_ms e.c_added
+        e.c_paths
+        (if i = List.length doc.c_entries - 1 then "" else ","))
+    doc.c_entries;
+  out "  ]\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
 (* regression gate *)
 
 (* Wall-clock and node counts may regress by at most this factor against
@@ -326,6 +360,72 @@ let load_sched path : (sched_doc, string) result =
        with
        | doc -> Ok doc
        | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+let load_scale path : (scale_doc, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match parse text with
+    | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | j ->
+      (match
+         let s = as_str (field "schema" j) in
+         if s <> scale_schema then raise (Bad ("unknown schema " ^ s));
+         let entry e =
+           {
+             c_name = as_str (field "name" e);
+             c_channels = as_int (field "channels" e);
+             c_valves = as_int (field "valves" e);
+             c_sched_ms = as_num (field "sched_ms" e);
+             c_makespan = as_int (field "makespan" e);
+             c_ilp_ms = as_num (field "ilp_ms" e);
+             c_added = as_int (field "added" e);
+             c_paths = as_int (field "paths" e);
+           }
+         in
+         {
+           c_jobs = as_int (field "jobs" j);
+           c_entries = List.map entry (as_arr (field "entries" j));
+         }
+       with
+       | doc -> Ok doc
+       | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* Scale gate: generation, scheduling and path synthesis are all
+   deterministic per (family, size) point, so chip shape, makespan and the
+   ILP objective must match the baseline exactly; both wall clocks get the
+   usual tolerance.  A changed channel/valve count means the generator
+   itself drifted — that invalidates every downstream number, so it is a
+   failure, not a note. *)
+let compare_scale ~(baseline : scale_doc) (current : scale_doc) : string list * string list =
+  let failures = ref [] in
+  let notes = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  List.iter
+    (fun (b : scale_entry) ->
+      match List.find_opt (fun e -> e.c_name = b.c_name) current.c_entries with
+      | None -> fail "%s: missing from current run" b.c_name
+      | Some e ->
+        if e.c_channels <> b.c_channels || e.c_valves <> b.c_valves then
+          fail "%s: generated chip drifted (%d channels/%d valves -> %d/%d)" b.c_name
+            b.c_channels b.c_valves e.c_channels e.c_valves;
+        if e.c_sched_ms > (tolerance *. b.c_sched_ms) +. 50. then
+          fail "%s: scheduler wall regression %.1f ms -> %.1f ms (>%.0f%% over baseline)"
+            b.c_name b.c_sched_ms e.c_sched_ms
+            ((tolerance -. 1.) *. 100.);
+        if e.c_ilp_ms > (tolerance *. b.c_ilp_ms) +. 50. then
+          fail "%s: ILP wall regression %.0f ms -> %.0f ms (>%.0f%% over baseline)" b.c_name
+            b.c_ilp_ms e.c_ilp_ms
+            ((tolerance -. 1.) *. 100.);
+        if e.c_makespan <> b.c_makespan then
+          fail "%s: makespan mismatch %d -> %d" b.c_name b.c_makespan e.c_makespan;
+        if e.c_added <> b.c_added then
+          fail "%s: ILP objective mismatch %d -> %d added edges" b.c_name b.c_added e.c_added;
+        if e.c_paths <> b.c_paths then
+          note "%s: path count changed %d -> %d" b.c_name b.c_paths e.c_paths)
+    baseline.c_entries;
+  (List.rev !failures, List.rev !notes)
 
 (* Scheduler gate: same wall tolerance as the LP gate; makespans (and the
    final codesign objective) are deterministic, so any mismatch against the

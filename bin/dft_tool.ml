@@ -351,6 +351,66 @@ let codesign_cmd =
       const run $ chip_arg $ assay_arg $ full $ seed $ jobs $ report $ deadline_arg $ ckpt_path
       $ ckpt_every $ resume $ stop_after $ chaos $ cert_prefix)
 
+let gen_cmd =
+  let run family_name size seed out =
+    match Mf_chips.Families.by_name family_name with
+    | None ->
+      Format.eprintf "error: unknown family %S (families: %s)@." family_name
+        (String.concat ", " Mf_chips.Families.names);
+      exit 1
+    | Some f ->
+      (* chip and assay share one seeded stream, exactly as the property
+         corpus derives its cases: the emitted pair is reproducible from
+         (family, size, seed) alone *)
+      let rng = Mf_util.Rng.create ~seed in
+      let chip = f.Mf_chips.Families.generate_size ~size rng in
+      let profile =
+        match f.Mf_chips.Families.profile with
+        | Mf_chips.Families.Balanced -> Mf_bioassay.Synth_assay.Balanced
+        | Mf_chips.Families.Storage_pressure -> Mf_bioassay.Synth_assay.Storage_pressure
+      in
+      let spec =
+        Mf_bioassay.Synth_assay.spec_of_size ~profile (f.Mf_chips.Families.assay_ops ~size)
+      in
+      let assay = Mf_bioassay.Synth_assay.generate ~spec rng in
+      let chip_path = out ^ ".chip" and assay_path = out ^ ".assay" in
+      Mf_arch.Chip_io.save chip_path chip;
+      Mf_bioassay.Assay_io.save assay_path assay;
+      Format.printf "wrote %s (%d ports, %d valves) + %s (%d ops)@." chip_path
+        (Array.length (Chip.ports chip))
+        (Array.length (Chip.valves chip))
+        assay_path
+        (Mf_bioassay.Seqgraph.n_ops assay)
+  in
+  let family_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            (Printf.sprintf "Chip family (%s)."
+               (String.concat ", " Mf_chips.Families.names)))
+  in
+  let size_arg =
+    Arg.(value & opt int 8 & info [ "size" ] ~docv:"N" ~doc:"Family size knob.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Write $(docv).chip and $(docv).assay, loadable by every other subcommand.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a chip + matching synthetic assay from a parametric family (ring, fpva, \
+          storage); deterministic in --seed.")
+    Term.(const run $ family_arg $ size_arg $ seed_arg $ out_arg)
+
 let export_cmd =
   let run chip assay_opt out_dir =
     if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
@@ -392,8 +452,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; render_cmd; lint_cmd; verify_cmd; testgen_cmd; schedule_cmd; codesign_cmd;
-        export_cmd ]
+      [ list_cmd; render_cmd; gen_cmd; lint_cmd; verify_cmd; testgen_cmd; schedule_cmd;
+        codesign_cmd; export_cmd ]
   in
   (* One-line diagnostics instead of backtraces: anything the commands do
      not handle themselves surfaces as "mfdft: error: ..." with exit 3. *)

@@ -11,6 +11,18 @@ type spec = {
 let default_spec =
   { n_ops = 20; detect_share = 0.4; max_fanout = 2; mix_duration = 50; detect_duration = 40 }
 
+type profile = Balanced | Storage_pressure
+
+let spec_of_size ?(profile = Balanced) n_ops =
+  let n_ops = max 4 n_ops in
+  match profile with
+  | Balanced -> { default_spec with n_ops }
+  | Storage_pressure ->
+    (* fewer detects and fan-out 1 leave more products parked between their
+       producing mix and eventual observation, pressuring storage sites;
+       longer mixes widen the parking window *)
+    { n_ops; detect_share = 0.25; max_fanout = 1; mix_duration = 80; detect_duration = 40 }
+
 let generate ?(spec = default_spec) rng =
   if spec.n_ops < 2 then invalid_arg "Synth_assay.generate: need at least two ops";
   if spec.detect_share <= 0. || spec.detect_share >= 1. then

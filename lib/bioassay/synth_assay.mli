@@ -15,6 +15,17 @@ type spec = {
 val default_spec : spec
 (** 20 ops, 40% detects, fan-out <= 2, mix 50 s, detect 40 s. *)
 
+type profile = Balanced | Storage_pressure
+(** Shape presets for size-swept generation, matching the chip families in
+    [Mf_chips.Families]: [Balanced] keeps the default mix of detects and
+    fan-out; [Storage_pressure] lowers the detect share and fan-out and
+    lengthens mixes so intermediates pile up in channel storage
+    (the workload of arXiv:1705.04998). *)
+
+val spec_of_size : ?profile:profile -> int -> spec
+(** [spec_of_size n] is a spec with [n_ops = max 4 n] and the remaining
+    fields set by [profile] (default [Balanced]). *)
+
 val generate : ?spec:spec -> Mf_util.Rng.t -> Seqgraph.t
 (** A random DAG honouring [spec]:
     - exactly [spec.n_ops] operations;

@@ -1,0 +1,258 @@
+module Chip = Mf_arch.Chip
+module Rng = Mf_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Ring family: the existing Synth generator behind the family interface. *)
+
+module Ring = struct
+  type spec = Synth.spec
+
+  let default_spec = Synth.default_spec
+
+  let spec_of_size size =
+    let size = max 6 size in
+    let mixers = max 1 (size / 4) in
+    let detectors = max 1 (size / 4) in
+    let heaters = size / 8 in
+    let ports = max 2 (size / 6) in
+    let pockets = max 1 (size - mixers - detectors - heaters - ports) in
+    { Synth.mixers; detectors; heaters; ports; pockets }
+
+  let generate ?(spec = default_spec) ?(name = "ring") rng = Synth.generate ~spec ~name rng
+end
+
+(* ------------------------------------------------------------------ *)
+(* FPVA family: a fully-programmable valve-array sieve (arXiv:1705.04996).
+
+   An m x n mesh occupies the centre of the grid with a one-cell margin all
+   around (the margin keeps free edges available for DFT augmentation and
+   hosts the boundary ports).  Every mesh edge carries a valve — the sieve —
+   except a configured set of interior "storage region" edges, which stay
+   unvalved but are surrounded by valves on all sides, i.e. they are exactly
+   the valve-enclosed channel pockets the scheduler uses as distributed
+   storage.  Mixer/detector "cells" are mesh nodes: in an FPVA any valve-
+   bounded region can be programmed into a device, which this model reduces
+   to a device anchored at the region's node.
+
+   Invariants by construction (regression-tested by the corpus):
+   - closing all valves separates every port pair (storage edges are
+     isolated interior singleton components), so [Chip.finish] accepts;
+   - no dead-end channel is unvalved (ports anchor their spurs, storage
+     edges are interior), so the chip lints clean;
+   - storage edges are pairwise non-adjacent, so each is an enclosed
+     pocket in [Mf_sched.Prep]'s sense. *)
+
+module Fpva = struct
+  type spec = {
+    rows : int;  (** mesh nodes per column, >= 3 *)
+    cols : int;  (** mesh nodes per row, >= 3 *)
+    ports : int;  (** boundary ports on margin spurs, >= 2 *)
+    mixers : int;  (** >= 1 *)
+    detectors : int;  (** >= 1 *)
+    storage : int;  (** interior unvalved storage edges, >= 0 *)
+  }
+
+  let default_spec = { rows = 5; cols = 5; ports = 3; mixers = 2; detectors = 1; storage = 2 }
+
+  (* Interior horizontal edges with x stepped by two never share an
+     endpoint (distinct y rows are disjoint; within a row the step skips
+     the shared node), so any subset is pairwise non-adjacent. *)
+  let storage_candidates spec =
+    let xs =
+      let rec go x acc = if x + 1 > spec.cols - 1 then List.rev acc else go (x + 2) (x :: acc) in
+      go 2 []
+    in
+    List.concat_map
+      (fun y -> List.map (fun x -> ((x, y), (x + 1, y))) xs)
+      (List.init (max 0 (spec.rows - 3)) (fun i -> 2 + i))
+
+  let max_storage spec = List.length (storage_candidates spec)
+
+  let spec_of_size size =
+    let size = max 3 size in
+    let spec =
+      {
+        rows = size;
+        cols = size;
+        ports = min 4 (max 2 (size - 2));
+        mixers = max 1 (size / 3);
+        detectors = max 1 (size / 4);
+        storage = 0;
+      }
+    in
+    { spec with storage = min (max_storage spec) (max 1 (max_storage spec / 2)) }
+
+  let generate ?(spec = default_spec) ?name rng =
+    if spec.rows < 3 || spec.cols < 3 then
+      invalid_arg "Families.Fpva.generate: mesh must be at least 3x3";
+    if spec.ports < 2 then invalid_arg "Families.Fpva.generate: need at least two ports";
+    if spec.mixers < 1 || spec.detectors < 1 then
+      invalid_arg "Families.Fpva.generate: need at least one mixer and one detector";
+    if spec.storage < 0 then invalid_arg "Families.Fpva.generate: negative storage";
+    if spec.storage > max_storage spec then
+      invalid_arg "Families.Fpva.generate: storage region too large for mesh interior";
+    let name =
+      match name with Some n -> n | None -> Printf.sprintf "fpva_%dx%d" spec.cols spec.rows
+    in
+    (* mesh spans (1,1)..(cols,rows); margin ring of free cells around it *)
+    let b = Chip.builder ~name ~width:(spec.cols + 2) ~height:(spec.rows + 2) in
+    for y = 1 to spec.rows do
+      Chip.add_channel b (List.init spec.cols (fun i -> (1 + i, y)))
+    done;
+    for x = 1 to spec.cols do
+      Chip.add_channel b (List.init spec.rows (fun i -> (x, 1 + i)))
+    done;
+    (* storage regions: draw without replacement from the non-adjacent
+       interior candidates *)
+    let cands = Array.of_list (storage_candidates spec) in
+    Rng.shuffle rng cands;
+    let storage = Array.sub cands 0 spec.storage in
+    let is_storage a c =
+      Array.exists (fun (u, v) -> (u = a && v = c) || (u = c && v = a)) storage
+    in
+    (* the sieve: every mesh edge valved, except the storage regions *)
+    for y = 1 to spec.rows do
+      for x = 1 to spec.cols - 1 do
+        if not (is_storage (x, y) (x + 1, y)) then Chip.add_valve b (x, y) (x + 1, y)
+      done
+    done;
+    for x = 1 to spec.cols do
+      for y = 1 to spec.rows - 1 do
+        if not (is_storage (x, y) (x, y + 1)) then Chip.add_valve b (x, y) (x, y + 1)
+      done
+    done;
+    (* boundary ports: non-corner perimeter mesh nodes, valved spur to the
+       margin so all-closed isolates every port *)
+    let port_slots =
+      Array.of_list
+        (List.concat
+           [
+             List.init (spec.cols - 2) (fun i -> ((2 + i, 1), (2 + i, 0)));
+             List.init (spec.rows - 2) (fun i -> ((spec.cols, 2 + i), (spec.cols + 1, 2 + i)));
+             List.init (spec.cols - 2) (fun i -> ((2 + i, spec.rows), (2 + i, spec.rows + 1)));
+             List.init (spec.rows - 2) (fun i -> ((1, 2 + i), (0, 2 + i)));
+           ])
+    in
+    if spec.ports > Array.length port_slots then
+      invalid_arg "Families.Fpva.generate: more ports than perimeter slots";
+    Rng.shuffle rng port_slots;
+    let hosts = Hashtbl.create 8 in
+    for p = 0 to spec.ports - 1 do
+      let host, margin = port_slots.(p) in
+      Hashtbl.replace hosts host ();
+      Chip.add_port b ~x:(fst margin) ~y:(snd margin) ~name:(Printf.sprintf "P%d" p);
+      Chip.add_channel b [ host; margin ];
+      Chip.add_valve b host margin
+    done;
+    (* programmable device cells: any mesh node not hosting a port spur and
+       not an endpoint of a storage region *)
+    let storage_node n = Array.exists (fun (u, v) -> u = n || v = n) storage in
+    let device_nodes =
+      Array.of_list
+        (List.concat_map
+           (fun y ->
+             List.filter_map
+               (fun i ->
+                 let n = (1 + i, y) in
+                 if Hashtbl.mem hosts n || storage_node n then None else Some n)
+               (List.init spec.cols Fun.id))
+           (List.init spec.rows (fun i -> 1 + i)))
+    in
+    if spec.mixers + spec.detectors > Array.length device_nodes then
+      invalid_arg "Families.Fpva.generate: more devices than free mesh nodes";
+    Rng.shuffle rng device_nodes;
+    for i = 0 to spec.mixers - 1 do
+      let x, y = device_nodes.(i) in
+      Chip.add_device b ~kind:Chip.Mixer ~x ~y ~name:(Printf.sprintf "M%d" i)
+    done;
+    for i = 0 to spec.detectors - 1 do
+      let x, y = device_nodes.(spec.mixers + i) in
+      Chip.add_device b ~kind:Chip.Detector ~x ~y ~name:(Printf.sprintf "D%d" i)
+    done;
+    Chip.finish_exn b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Storage-heavy family: a ring whose attachment mix is dominated by
+   valve-enclosed pockets — the size-swept storage-pressure workload of
+   the "Transport or Store?" line of work (arXiv:1705.04998). *)
+
+module Storage = struct
+  type spec = {
+    pockets : int;  (** >= 1; the size lever *)
+    mixers : int;  (** >= 1 *)
+    detectors : int;  (** >= 1 *)
+    ports : int;  (** >= 2 *)
+  }
+
+  let default_spec = { pockets = 8; mixers = 2; detectors = 2; ports = 3 }
+
+  let spec_of_size size =
+    { pockets = max 2 size; mixers = 2; detectors = 2; ports = max 3 (2 + (size / 8)) }
+
+  let to_ring { pockets; mixers; detectors; ports } =
+    { Synth.mixers; detectors; heaters = 0; ports; pockets }
+
+  let generate ?(spec = default_spec) ?(name = "storage") rng =
+    Synth.generate ~spec:(to_ring spec) ~name rng
+end
+
+(* ------------------------------------------------------------------ *)
+(* Uniform sweep interface *)
+
+type profile = Balanced | Storage_pressure
+
+type family = {
+  name : string;
+  description : string;
+  profile : profile;
+  sweep_sizes : int list;
+  corpus_sizes : int list;
+  generate_size : size:int -> Rng.t -> Chip.t;
+  assay_ops : size:int -> int;
+}
+
+let sized_name prefix size = Printf.sprintf "%s_%d" prefix size
+
+let ring =
+  {
+    name = "ring";
+    description = "valved transport ring with device/port spurs and storage pockets";
+    profile = Balanced;
+    sweep_sizes = [ 8; 12; 16; 20 ];
+    corpus_sizes = [ 6; 8; 10; 12 ];
+    generate_size =
+      (fun ~size rng ->
+        Ring.generate ~spec:(Ring.spec_of_size size) ~name:(sized_name "ring" size) rng);
+    assay_ops = (fun ~size -> max 6 (2 * size));
+  }
+
+let fpva =
+  {
+    name = "fpva";
+    description = "fully-programmable valve-array sieve with boundary ports (arXiv:1705.04996)";
+    profile = Balanced;
+    sweep_sizes = [ 3; 4; 5; 6 ];
+    corpus_sizes = [ 4; 5 ];
+    generate_size =
+      (fun ~size rng ->
+        Fpva.generate ~spec:(Fpva.spec_of_size size) ~name:(sized_name "fpva" size) rng);
+    assay_ops = (fun ~size -> max 6 (3 * size));
+  }
+
+let storage =
+  {
+    name = "storage";
+    description = "pocket-dominated ring stressing distributed channel storage (arXiv:1705.04998)";
+    profile = Storage_pressure;
+    sweep_sizes = [ 6; 10; 14; 18 ];
+    corpus_sizes = [ 4; 6; 8; 10 ];
+    generate_size =
+      (fun ~size rng ->
+        Storage.generate ~spec:(Storage.spec_of_size size) ~name:(sized_name "storage" size) rng);
+    assay_ops = (fun ~size -> max 6 (2 * size));
+  }
+
+let all = [ ring; fpva; storage ]
+let names = List.map (fun f -> f.name) all
+let by_name n = List.find_opt (fun f -> f.name = n) all

@@ -1,0 +1,97 @@
+(** Parametric chip-family generators.
+
+    Each family is a seeded, deterministic generator producing chips that
+    pass [Chip.finish]'s testability validation and lint clean by
+    construction, so property corpora and scaling sweeps can range over
+    them freely (ROADMAP item 3).  Three families ship:
+
+    - {!Ring}: the existing {!Synth} ring architecture behind the family
+      interface;
+    - {!Fpva}: fully-programmable valve-array sieves (arXiv:1705.04996) —
+      an m×n mesh with every edge valved except designated interior
+      storage regions, ports on valved boundary spurs;
+    - {!Storage}: pocket-dominated rings stressing distributed channel
+      storage (arXiv:1705.04998).
+
+    The {!family} record gives a uniform size-swept view over all three
+    for benchmarks ([bench -- scale]), the QCheck corpus
+    ([test/test_corpus.ml]) and the [dft_tool gen] subcommand.  Layout
+    rules are documented in DESIGN.md §13. *)
+
+(** The ring family: {!Synth} with a size knob. *)
+module Ring : sig
+  type spec = Synth.spec
+
+  val default_spec : spec
+
+  val spec_of_size : int -> spec
+  (** [spec_of_size s] splits a total attachment budget of roughly [s]
+      across mixers, detectors, heaters, ports and pockets. *)
+
+  val generate : ?spec:spec -> ?name:string -> Mf_util.Rng.t -> Mf_arch.Chip.t
+end
+
+(** Fully-programmable valve-array grids. *)
+module Fpva : sig
+  type spec = {
+    rows : int;  (** mesh nodes per column, >= 3 *)
+    cols : int;  (** mesh nodes per row, >= 3 *)
+    ports : int;  (** boundary ports on margin spurs, >= 2 *)
+    mixers : int;  (** >= 1 *)
+    detectors : int;  (** >= 1 *)
+    storage : int;  (** interior unvalved storage edges, >= 0 *)
+  }
+
+  val default_spec : spec
+  (** 5×5 mesh, 3 ports, 2 mixers, 1 detector, 2 storage regions. *)
+
+  val max_storage : spec -> int
+  (** Number of pairwise non-adjacent interior edges available as storage
+      regions for the given mesh dimensions. *)
+
+  val spec_of_size : int -> spec
+  (** [spec_of_size s] is an s×s mesh with port/device/storage counts
+      scaled to the mesh area. *)
+
+  val generate : ?spec:spec -> ?name:string -> Mf_util.Rng.t -> Mf_arch.Chip.t
+  (** Deterministic in [rng]; raises [Invalid_argument] if the spec does
+      not fit the mesh (too many ports, devices or storage regions). *)
+end
+
+(** Storage-pressure rings: pocket count is the size lever. *)
+module Storage : sig
+  type spec = {
+    pockets : int;  (** >= 1; the size lever *)
+    mixers : int;  (** >= 1 *)
+    detectors : int;  (** >= 1 *)
+    ports : int;  (** >= 2 *)
+  }
+
+  val default_spec : spec
+  val spec_of_size : int -> spec
+  val generate : ?spec:spec -> ?name:string -> Mf_util.Rng.t -> Mf_arch.Chip.t
+end
+
+type profile = Balanced | Storage_pressure
+(** Which synthetic-assay shape suits the family
+    (see [Mf_bioassay.Synth_assay.spec_of_size]). *)
+
+type family = {
+  name : string;  (** registry key, e.g. ["fpva"] *)
+  description : string;
+  profile : profile;
+  sweep_sizes : int list;  (** the committed [bench -- scale] sweep points *)
+  corpus_sizes : int list;  (** sizes the QCheck corpus draws from *)
+  generate_size : size:int -> Mf_util.Rng.t -> Mf_arch.Chip.t;
+  assay_ops : size:int -> int;  (** matching synthetic-assay op count *)
+}
+
+val ring : family
+val fpva : family
+val storage : family
+
+val all : family list
+(** [ [ring; fpva; storage] ]. *)
+
+val names : string list
+val by_name : string -> family option

@@ -5,12 +5,14 @@ type spec = { mixers : int; detectors : int; heaters : int; ports : int; pockets
 
 let default_spec = { mixers = 2; detectors = 2; heaters = 0; ports = 3; pockets = 2 }
 
+type report = { requested_pockets : int; placed_pockets : int }
+
 type attachment = Device of Chip.device_kind | Port | Pocket
 
 (* Ring nodes are hosted on the rectangle (1,1)..(rw,rh); each attachment
    occupies a non-corner perimeter node and sticks outward, so node degrees
    stay within the grid's four neighbours and attachments never collide. *)
-let generate ?(spec = default_spec) rng =
+let generate_report ?(spec = default_spec) ?(name = "synthetic") rng =
   if spec.mixers < 1 || spec.detectors < 1 then
     invalid_arg "Synth.generate: need at least one mixer and one detector";
   if spec.ports < 2 then invalid_arg "Synth.generate: need at least two ports";
@@ -29,7 +31,7 @@ let generate ?(spec = default_spec) rng =
   (* non-corner perimeter nodes: 2(rw-2) + 2(rh-2); we use every second slot *)
   let rw = max 4 (((n_att + 4) / 2) + 1) in
   let rh = max 4 (n_att + 5 - rw) in
-  let b = Chip.builder ~name:"synthetic" ~width:(rw + 2) ~height:(rh + 2) in
+  let b = Chip.builder ~name ~width:(rw + 2) ~height:(rh + 2) in
   (* clockwise perimeter walk with outward directions; corners excluded *)
   let slots =
     List.concat
@@ -70,6 +72,21 @@ let generate ?(spec = default_spec) rng =
     Hashtbl.replace counters prefix (n + 1);
     Printf.sprintf "%s%d" prefix n
   in
+  (* Cells consumed by the layout so pocket ends can prove they are free:
+     the ring rectangle plus every outward cell of an assigned slot.  The
+     slot geometry makes pocket-end collisions impossible (the end lands on
+     the outward cell of the *unused* odd slot between two assigned ones),
+     but the placement is checked rather than trusted — a pocket that would
+     overlap anything is skipped and reported instead of silently laid. *)
+  let used = Hashtbl.create (4 * (rw + rh)) in
+  List.iter (fun cell -> Hashtbl.replace used cell ()) ring_path;
+  Array.iteri
+    (fun i _ ->
+      if i < n_att then
+        let (hx, hy), (ox, oy), _ = order.(i) in
+        Hashtbl.replace used (hx + ox, hy + oy) ())
+    order;
+  let placed_pockets = ref 0 in
   Array.iteri
     (fun i att ->
       let (hx, hy), (ox, oy), (px, py) = order.(i) in
@@ -89,7 +106,14 @@ let generate ?(spec = default_spec) rng =
       | Pocket ->
         (* valved connector + unvalved pocket edge, parallel to the ring *)
         let pocket_end = (fst out + px, snd out + py) in
-        Chip.add_channel b [ (hx, hy); out; pocket_end ];
-        Chip.add_valve b (hx, hy) out)
+        let in_grid (x, y) = x >= 0 && x <= rw + 1 && y >= 0 && y <= rh + 1 in
+        if in_grid pocket_end && not (Hashtbl.mem used pocket_end) then begin
+          Hashtbl.replace used pocket_end ();
+          Chip.add_channel b [ (hx, hy); out; pocket_end ];
+          Chip.add_valve b (hx, hy) out;
+          incr placed_pockets
+        end)
     shuffled;
-  Chip.finish_exn b
+  (Chip.finish_exn b, { requested_pockets = spec.pockets; placed_pockets = !placed_pockets })
+
+let generate ?spec ?name rng = fst (generate_report ?spec ?name rng)

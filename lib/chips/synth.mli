@@ -6,21 +6,39 @@
     studies.  Every generated chip passes [Chip.finish]'s testability
     validation by construction, and the generator follows the layout rules
     recorded in DESIGN.md §5.8 (port entries valved, spurs as dead ends,
-    pockets off the ring). *)
+    pockets off the ring).
+
+    This is the ring family behind {!Families.Ring}; see {!Families} for
+    the other chip families and the uniform sweep interface. *)
 
 type spec = {
   mixers : int;  (** >= 1 *)
   detectors : int;  (** >= 1 *)
   heaters : int;
   ports : int;  (** >= 2 *)
-  pockets : int;  (** storage pockets (best effort: may place fewer) *)
+  pockets : int;  (** storage pockets *)
 }
 
 val default_spec : spec
 (** 2 mixers, 2 detectors, 0 heaters, 3 ports, 2 pockets. *)
 
-val generate : ?spec:spec -> Mf_util.Rng.t -> Mf_arch.Chip.t
-(** [generate rng] builds a fresh random chip.  The ring size scales with
-    the number of attachments; placement choices (which ring node hosts
-    which spur) are drawn from [rng].  Raises [Invalid_argument] on specs
-    that cannot fit (e.g. more attachments than ring nodes). *)
+type report = {
+  requested_pockets : int;  (** [spec.pockets] *)
+  placed_pockets : int;
+      (** pockets actually laid.  The slot geometry guarantees every
+          requested pocket fits (regression-tested), so this equals
+          [requested_pockets]; the count exists so that any future layout
+          change that breaks the guarantee surfaces here instead of
+          silently placing fewer. *)
+}
+
+val generate_report : ?spec:spec -> ?name:string -> Mf_util.Rng.t -> Mf_arch.Chip.t * report
+(** [generate_report rng] builds a fresh random chip and reports the pocket
+    placement outcome.  The ring size scales with the number of
+    attachments; placement choices (which ring node hosts which spur) are
+    drawn from [rng].  [name] labels the chip (default ["synthetic"]).
+    Raises [Invalid_argument] on specs that cannot fit (e.g. more
+    attachments than ring nodes). *)
+
+val generate : ?spec:spec -> ?name:string -> Mf_util.Rng.t -> Mf_arch.Chip.t
+(** {!generate_report} without the report. *)

@@ -167,6 +167,14 @@ let coordinates chip =
   let g = Grid.graph grid in
   let w = Grid.width grid and h = Grid.height grid in
   let out = ref [] in
+  (* a lattice flattened to a single row or column cannot host valved
+     detours or storage pockets off its one axis, so DFT augmentation and
+     scheduling degrade; builders should leave at least a 2-wide margin *)
+  if w < 2 || h < 2 then
+    out :=
+      Diag.warningf ~code:"MF006" ~subject:"grid"
+        "degenerate %dx%d lattice leaves no room off-axis for DFT detours" w h
+      :: !out;
   let check_node label n =
     let x, y = Grid.coords grid n in
     if x < 0 || x >= w || y < 0 || y >= h then

@@ -17,6 +17,8 @@
       network; (warning) channel edge in a component touching no port;
     - [MF006] (error) degenerate grid coordinates: an entity placed outside
       the grid, or a channel/valve edge joining non-adjacent nodes;
+      (warning) a degenerate lattice — width or height below 2 — that
+      leaves no room off-axis for DFT detours or storage pockets;
     - [MF007] (error) inconsistent DFT augmentation: duplicate DFT edges
       (a DFT channel overlapping another channel collapses to this), or a
       DFT edge without its DFT valve;

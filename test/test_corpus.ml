@@ -1,0 +1,196 @@
+(* Cross-layer property corpus over the parametric chip families
+   ([Mf_chips.Families]): every generated chip must lint clean, its
+   generated test suite must re-certify through the independent verifier,
+   the scheduler fast path must agree bit-for-bit with the reference
+   implementation, the path ILP must cover at least as well as the greedy
+   fallback, and pool construction must be parallelism-invariant.
+
+   Case counts scale with MFDFT_CORPUS_COUNT (the lint-property count;
+   the expensive solver-backed properties derive smaller counts from it)
+   and the seed matrix shifts with MFDFT_CORPUS_SEED, so the nightly CI
+   job can rerun the same corpus wider and elsewhere on the seed space
+   while any failure stays reproducible from the logged seed alone. *)
+
+module Chip = Mf_arch.Chip
+module Chip_io = Mf_arch.Chip_io
+module Assay_io = Mf_bioassay.Assay_io
+module Families = Mf_chips.Families
+module Synth_assay = Mf_bioassay.Synth_assay
+module Scheduler = Mf_sched.Scheduler
+module Pathgen = Mf_testgen.Pathgen
+module Vectors = Mf_testgen.Vectors
+module Coverage = Mf_faults.Coverage
+module Lint = Mf_verify.Lint
+module Cert = Mf_verify.Cert
+module Pool = Mfdft.Pool
+module Domain_pool = Mf_util.Domain_pool
+module Rng = Mf_util.Rng
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try max 1 (int_of_string s) with Failure _ -> default)
+  | None -> default
+
+let lint_count = env_int "MFDFT_CORPUS_COUNT" 100
+let seed_base = 1_000_000 * (env_int "MFDFT_CORPUS_SEED" 1 - 1)
+
+(* solver-backed properties run fewer cases; the ratios keep the nightly
+   job's higher MFDFT_CORPUS_COUNT proportional across all of them *)
+let recert_count = max 4 (lint_count / 25)
+let sched_count = max 8 (lint_count / 12)
+let greedy_count = max 4 (lint_count / 25)
+let pool_count = max 2 (lint_count / 50)
+
+(* Deterministic case derivation: QCheck supplies a small case index; the
+   chip/assay pair is a pure function of (family, MFDFT_CORPUS_SEED, index),
+   so a failure report names the exact inputs. *)
+let case_seed family_salt index = seed_base + (1000 * family_salt) + index
+
+let family_salt (f : Families.family) =
+  match f.Families.name with "ring" -> 1 | "fpva" -> 2 | "storage" -> 3 | _ -> 9
+
+let case_size (f : Families.family) index =
+  List.nth f.Families.corpus_sizes (index mod List.length f.Families.corpus_sizes)
+
+let assay_profile (f : Families.family) =
+  match f.Families.profile with
+  | Families.Balanced -> Synth_assay.Balanced
+  | Families.Storage_pressure -> Synth_assay.Storage_pressure
+
+(* chip and assay share one seeded stream: reproducing the pair needs only
+   the case seed *)
+let case (f : Families.family) index =
+  let size = case_size f index in
+  let rng = Rng.create ~seed:(case_seed (family_salt f) index) in
+  let chip = f.Families.generate_size ~size rng in
+  let spec = Synth_assay.spec_of_size ~profile:(assay_profile f) (f.Families.assay_ops ~size) in
+  let assay = Synth_assay.generate ~spec rng in
+  (chip, assay)
+
+let prop ~name ~count f p =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count QCheck.small_nat (fun index -> p f index))
+
+(* ------------------------------------------------------------------ *)
+(* P1: every generated chip lints with zero diagnostics — warnings too *)
+
+let lint_clean f index =
+  let chip, _ = case f index in
+  Lint.chip chip = []
+
+(* ------------------------------------------------------------------ *)
+(* P2: same seed, byte-identical serialised chip and assay *)
+
+let seed_stable f index =
+  let chip_a, assay_a = case f index in
+  let chip_b, assay_b = case f index in
+  String.equal (Chip_io.to_string chip_a) (Chip_io.to_string chip_b)
+  && String.equal (Assay_io.to_string assay_a) (Assay_io.to_string assay_b)
+
+(* ------------------------------------------------------------------ *)
+(* P3: the generated DFT suite re-certifies through the independent
+   verifier (lint of the augmented chip + certificate re-proof + sharing
+   conflict scan), with zero diagnostics.  Suites come from [Pool.build] —
+   the production path behind [dft_tool] — whose repair/rejection ladder
+   guarantees complete fault coverage; a bare [Pathgen] configuration may
+   legitimately leave escapes the verifier would (rightly) flag.  A small
+   pool can run out of candidates on the largest pocket-heavy chips (every
+   attempt rejected because repair left faults escaping) — that outcome is
+   typed and surfaced, not a verifier bug, so such cases are discarded
+   rather than failed; the property under test is that whenever the
+   pipeline does emit a suite, the independent verifier agrees with it. *)
+
+let cert_of aug (suite : Vectors.t) =
+  let report = Vectors.validate aug suite in
+  Cert.make ~chip_name:(Chip.name aug)
+    ~suite:
+      {
+        Cert.source_port = suite.Vectors.source_port;
+        meter_port = suite.Vectors.meter_port;
+        path_edges = suite.Vectors.path_edges;
+        cut_valves = suite.Vectors.cut_valves;
+      }
+    ~claimed_vectors:(Vectors.count suite)
+    ~claimed_coverage:(report.Coverage.detected, report.Coverage.total_faults)
+
+let recertifies f index =
+  let chip, _ = case f index in
+  let rng = Rng.create ~seed:(case_seed (family_salt f) index + 31) in
+  match Pool.build ~size:3 ~node_limit:400 ~rng chip with
+  | Error _ -> QCheck.assume_fail ()
+  | Ok pool ->
+    let e = (Pool.entries pool).(0) in
+    let aug = e.Pool.augmented in
+    (match Mf_verify.Verify.certificate aug (cert_of aug e.Pool.suite) with
+     | [] -> true
+     | diags ->
+       QCheck.Test.fail_reportf "%s: %s" (Chip.name chip)
+         (String.concat ", " (List.map (fun (d : Mf_util.Diag.t) -> d.code) diags)))
+
+(* ------------------------------------------------------------------ *)
+(* P4: scheduler fast path ≡ first-principles reference, bit-identically,
+   success or failure *)
+
+let sched_differential f index =
+  let chip, assay = case f index in
+  Scheduler.run chip assay = Scheduler.run_reference chip assay
+
+(* ------------------------------------------------------------------ *)
+(* P5: the ILP never loses to the pure greedy fallback.  Both cover every
+   original channel edge by construction (that is the path constraint), so
+   the comparison is on objective (5), the number of added DFT edges: a
+   non-degraded ILP solution is optimal for its path count, and any greedy
+   cover with at most that many paths extends to an equal-cost solution at
+   the ILP's path count (duplicate a path), so ILP added <= greedy added
+   whenever ilp.n_paths >= greedy.n_paths.  A greedy win achieved only by
+   spending more paths than the ILP needed is the one incomparable case. *)
+
+let ilp_beats_greedy f index =
+  let chip, _ = case f index in
+  match (Pathgen.generate ~node_limit:400 chip, Pathgen.generate ~node_limit:0 chip) with
+  | Ok ilp, Ok greedy ->
+    ilp.Pathgen.degraded
+    || ilp.Pathgen.n_paths < greedy.Pathgen.n_paths
+    || List.length ilp.Pathgen.added_edges <= List.length greedy.Pathgen.added_edges
+  | Ok _, Error _ -> true (* ILP covered a chip the heuristic could not *)
+  | Error f, _ -> Alcotest.failf "pathgen on %s: %a" (Chip.name chip) Mf_util.Fail.pp f
+
+(* ------------------------------------------------------------------ *)
+(* P6: pool construction is parallelism-invariant — jobs=1 and jobs=4
+   produce identical attempt fingerprints and configurations, and fail
+   identically when the chip exhausts the candidate ladder *)
+
+let pool_fingerprint f index jobs =
+  let chip, _ = case f index in
+  let rng = Rng.create ~seed:(case_seed (family_salt f) index + 77) in
+  Domain_pool.with_pool ~jobs (fun domains ->
+      match Pool.build ~size:4 ~node_limit:400 ~domains ~rng chip with
+      | Error _ -> None
+      | Ok pool ->
+        Some
+          ( Pool.attempt_objectives pool,
+            Array.map
+              (fun (e : Pool.entry) -> e.Pool.config.Pathgen.added_edges)
+              (Pool.entries pool) ))
+
+let pool_parallel_invariant f index =
+  pool_fingerprint f index 1 = pool_fingerprint f index 4
+
+(* ------------------------------------------------------------------ *)
+
+let family_suite f =
+  let n = f.Families.name in
+  ( Printf.sprintf "corpus:%s" n,
+    [
+      prop ~name:(n ^ " lints clean") ~count:lint_count f lint_clean;
+      prop ~name:(n ^ " seed-stable io") ~count:(max 10 (lint_count / 10)) f seed_stable;
+      prop ~name:(n ^ " suite re-certifies") ~count:recert_count f recertifies;
+      prop ~name:(n ^ " run = run_reference") ~count:sched_count f sched_differential;
+      prop ~name:(n ^ " ilp >= greedy coverage") ~count:greedy_count f ilp_beats_greedy;
+      prop ~name:(n ^ " pool jobs=1 = jobs=4") ~count:pool_count f pool_parallel_invariant;
+    ] )
+
+let () =
+  (* exact-value differentials require the fault-free pipeline *)
+  Mf_util.Chaos.neutralise ();
+  Alcotest.run "mf_corpus" (List.map family_suite Families.all)

@@ -33,6 +33,24 @@ let test_spec_respected () =
   check Alcotest.int "heaters" 1 (count Chip.Heater);
   check Alcotest.int "ports" 4 (Array.length (Chip.ports chip))
 
+(* regression: pocket placement used to be silently best-effort; the slot
+   geometry must place every requested pocket and say so in the report *)
+let test_pockets_all_placed () =
+  let rng = Rng.create ~seed:11 in
+  List.iter
+    (fun spec ->
+      for _ = 1 to 5 do
+        let _, report = Synth.generate_report ~spec rng in
+        check Alcotest.int "requested" spec.Synth.pockets report.Synth.requested_pockets;
+        check Alcotest.int "placed = requested" report.Synth.requested_pockets
+          report.Synth.placed_pockets
+      done)
+    [
+      Synth.default_spec;
+      { Synth.default_spec with Synth.pockets = 8 };
+      { Synth.mixers = 3; detectors = 2; heaters = 2; ports = 4; pockets = 12 };
+    ]
+
 let test_rejects_bad_specs () =
   let rng = Rng.create ~seed:3 in
   List.iter
@@ -111,6 +129,7 @@ let () =
         [
           Alcotest.test_case "default valid" `Quick test_default_valid;
           Alcotest.test_case "spec respected" `Quick test_spec_respected;
+          Alcotest.test_case "pockets all placed" `Quick test_pockets_all_placed;
           Alcotest.test_case "rejects bad specs" `Quick test_rejects_bad_specs;
         ] );
       ( "properties",
