@@ -15,6 +15,8 @@
      dune exec bench/main.exe -- sched-baseline -- rewrite the BENCH_sched.json baseline
      dune exec bench/main.exe -- scale        -- chip-family size sweep, gated vs BENCH_scale.json
      dune exec bench/main.exe -- scale-baseline -- rewrite the BENCH_scale.json baseline
+     dune exec bench/main.exe -- repair       -- fault-adaptive retest vs codesign, gated vs BENCH_repair.json
+     dune exec bench/main.exe -- repair-baseline -- rewrite the BENCH_repair.json baseline
 
    Absolute times differ from the paper (different workload realisations and
    a simulated substrate); the comparisons that matter are the shapes:
@@ -434,6 +436,7 @@ let verify_bench () =
           ~claimed_vectors:(Mf_testgen.Vectors.count suite)
           ~claimed_coverage:
             (report.Mf_faults.Coverage.detected, report.Mf_faults.Coverage.total_faults)
+          ()
       in
       let lint, t_lint = time (fun () -> Mf_verify.Lint.chip aug) in
       let diags, t_verify = time (fun () -> Mf_verify.Verify.certificate aug cert) in
@@ -795,6 +798,159 @@ let scale ~write_baseline () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fault-adaptive repair vs full codesign: every benchmark chip x assay —
+   plus one fpva and one storage family point — runs the codesign flow
+   once, injects a single seed-stable valve fault on the deployed (shared)
+   chip, and repairs the certified suite incrementally with
+   [Mf_repair.Reconfig].  The gate proves the headline claim: repair is at
+   least [repair_min_speedup]x cheaper than re-running codesign, the
+   repaired suite re-certifies with zero errors, and every deterministic
+   count matches BENCH_repair.json exactly.  Codesign is timed with a
+   prebuilt pool, so the speedup understates what a redeployment (pool
+   included) would cost — the gate errs against the claim. *)
+
+module Reconfig = Mf_repair.Reconfig
+
+let repair_baseline_path = "BENCH_repair.json"
+let repair_min_speedup = 10.
+
+let repair_bench ~write_baseline () =
+  Format.printf "@.== Repair: incremental fault-adaptive retest vs full codesign ==@.@.";
+  let params = { Codesign.quick_params with Codesign.jobs } in
+  let entries = ref [] in
+  let hard_failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> hard_failures := m :: !hard_failures) fmt in
+  let now = Unix.gettimeofday in
+  Format.printf "%-16s %10s %11s %8s %8s %6s %9s %7s@." "point" "full[ms]" "repair[ms]"
+    "speedup" "dropped" "added" "coverage" "waived";
+  let run_point name ~pool chip app =
+    let t0 = now () in
+    match Codesign.run ~params ~pool chip app with
+    | Error f -> fail "%s: codesign failed: %s" name (Mf_util.Fail.to_string f)
+    | Ok r ->
+      let full_ms = (now () -. t0) *. 1e3 in
+      let deployed = r.Codesign.shared in
+      let fault =
+        match
+          Mf_util.Chaos.sample_sites ~seed:params.Codesign.seed ~count:1
+            ~n_sites:(Chip.n_valves deployed)
+        with
+        | v :: _ -> Mf_faults.Fault.Stuck_at_1 v
+        | [] -> assert false (* every deployed chip carries valves *)
+      in
+      let t0 = now () in
+      let rp =
+        Reconfig.repair
+          ~params:
+            { Reconfig.default_params with Reconfig.seed = params.Codesign.seed; jobs }
+          ~app
+          ~sharing:(r.Codesign.augmented, r.Codesign.sharing)
+          deployed r.Codesign.suite [ fault ]
+      in
+      let repair_ms = (now () -. t0) *. 1e3 in
+      (match rp with
+       | Error f -> fail "%s: repair failed: %s" name (Mf_util.Fail.to_string f)
+       | Ok rr ->
+         let n_err, _ = Mf_util.Diag.count rr.Reconfig.diags in
+         if n_err > 0 then fail "%s: repaired suite re-certified with %d error(s)" name n_err;
+         let speedup = full_ms /. repair_ms in
+         if speedup < repair_min_speedup then
+           fail "%s: repair only %.1fx cheaper than full codesign (gate: %.0fx)" name speedup
+             repair_min_speedup;
+         let st = rr.Reconfig.stats in
+         let cov = rr.Reconfig.coverage in
+         Format.printf "%-16s %10.0f %11.1f %7.0fx %8d %6d %5d/%-3d %7d@." name full_ms
+           repair_ms speedup st.Reconfig.damaged st.Reconfig.added
+           cov.Mf_faults.Coverage.detected cov.Mf_faults.Coverage.total_faults
+           (List.length rr.Reconfig.untestable);
+         entries :=
+           {
+             Perf_json.r_name = name;
+             r_full_ms = full_ms;
+             r_repair_ms = repair_ms;
+             r_dropped = st.Reconfig.damaged;
+             r_added = st.Reconfig.added;
+             r_detected = cov.Mf_faults.Coverage.detected;
+             r_total = cov.Mf_faults.Coverage.total_faults;
+             r_vectors = Mf_testgen.Vectors.count rr.Reconfig.suite;
+             r_waived = List.length rr.Reconfig.untestable;
+             r_makespan = (match rr.Reconfig.exec_after with Some m -> m | None -> -1);
+           }
+           :: !entries)
+  in
+  let with_pool chip k =
+    let rng = Rng.create ~seed:params.Codesign.seed in
+    let pool =
+      Domain_pool.with_pool ~jobs (fun domains ->
+          Pool.build ~size:params.Codesign.pool_size
+            ~node_limit:params.Codesign.ilp_node_limit ~domains ~rng chip)
+    in
+    match pool with
+    | Error f -> fail "%s: pool build failed: %s" (Chip.name chip) (Mf_util.Fail.to_string f)
+    | Ok pool -> k pool
+  in
+  List.iter
+    (fun chip_name ->
+      let chip = Option.get (Benchmarks.by_name chip_name) in
+      with_pool chip (fun pool ->
+          List.iter
+            (fun assay ->
+              let app = Option.get (Assays.by_name assay) in
+              run_point (chip_name ^ "/" ^ assay) ~pool chip app)
+            assays))
+    chips;
+  (* one point off the benchmark manifold per synthesized family, at its
+     smallest sweep size; chip and assay are pure functions of (family,
+     size), same salts as the scale sweep *)
+  List.iter
+    (fun (fname, size) ->
+      let f = Option.get (Families.by_name fname) in
+      let salt = match fname with "ring" -> 1 | "fpva" -> 2 | "storage" -> 3 | _ -> 9 in
+      let rng = Rng.create ~seed:(7000 + (1000 * salt) + size) in
+      let chip = f.Families.generate_size ~size rng in
+      let profile =
+        match f.Families.profile with
+        | Families.Balanced -> Synth_assay.Balanced
+        | Families.Storage_pressure -> Synth_assay.Storage_pressure
+      in
+      let spec = Synth_assay.spec_of_size ~profile (f.Families.assay_ops ~size) in
+      let app = Synth_assay.generate ~spec rng in
+      with_pool chip (fun pool ->
+          run_point (Printf.sprintf "%s/%d" fname size) ~pool chip app))
+    [ ("fpva", 5); ("storage", 6) ];
+  let doc = { Perf_json.r_jobs = jobs; r_entries = List.rev !entries } in
+  (match !hard_failures with
+   | [] -> ()
+   | fs ->
+     Format.printf "@.repair gate: FAIL@.";
+     List.iter (fun m -> Format.printf "  - %s@." m) (List.rev fs);
+     exit 1);
+  if write_baseline then begin
+    Perf_json.save_repair repair_baseline_path doc;
+    Format.printf "@.baseline written to %s@." repair_baseline_path
+  end
+  else begin
+    match Perf_json.load_repair repair_baseline_path with
+    | Error msg ->
+      Format.printf "@.no usable baseline (%s); run `bench -- repair-baseline` to create one@."
+        msg
+    | Ok baseline ->
+      let failures, notes = Perf_json.compare_repair ~baseline doc in
+      List.iter (fun m -> Format.printf "note: %s@." m) notes;
+      (match failures with
+       | [] ->
+         Format.printf
+           "repair gate: PASS (>=%.0fx vs codesign, 0 cert errors, counts exact, wall \
+            within %.0f%%)@."
+           repair_min_speedup
+           ((Perf_json.tolerance -. 1.) *. 100.)
+       | failures ->
+         Format.printf "repair gate: FAIL@.";
+         List.iter (fun m -> Format.printf "  - %s@." m) failures;
+         exit 1)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks *)
 
 let micro () =
@@ -894,6 +1050,9 @@ let () =
   (* scale too: family sweep gated vs BENCH_scale.json *)
   if List.mem "scale" args then scale ~write_baseline:false ();
   if List.mem "scale-baseline" args then scale ~write_baseline:true ();
+  (* repair too: fault-adaptive retest gated vs BENCH_repair.json *)
+  if List.mem "repair" args then repair_bench ~write_baseline:false ();
+  if List.mem "repair-baseline" args then repair_bench ~write_baseline:true ();
   (* chaos is opt-in only: it deliberately breaks determinism *)
   if List.mem "chaos" args then chaos_bench ();
   if List.mem "verify" args || List.mem "all" args then verify_bench ();

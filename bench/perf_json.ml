@@ -288,6 +288,43 @@ let save_scale path doc =
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
 
 (* ------------------------------------------------------------------ *)
+(* fault-adaptive repair vs full codesign (bench -- repair / BENCH_repair.json) *)
+
+type repair_entry = {
+  r_name : string; (* "chip/assay" or "family/size/assay" *)
+  r_full_ms : float; (* full codesign wall clock (pool + two-level PSO) *)
+  r_repair_ms : float; (* incremental repair wall clock *)
+  r_dropped : int; (* vectors the fault context malformed *)
+  r_added : int; (* repair vectors added by the cover *)
+  r_detected : int; (* post-repair coverage on the degraded chip *)
+  r_total : int;
+  r_vectors : int; (* repaired suite size *)
+  r_waived : int; (* faults proved structurally untestable *)
+  r_makespan : int; (* application makespan after repair; -1 = none *)
+}
+
+type repair_doc = { r_jobs : int; r_entries : repair_entry list }
+
+let repair_schema = "mfdft-bench-repair-v1"
+
+let save_repair path doc =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" repair_schema doc.r_jobs;
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"name\": \"%s\", \"full_ms\": %.1f, \"repair_ms\": %.2f, \"dropped\": %d,\n\
+        \     \"added\": %d, \"detected\": %d, \"total\": %d, \"vectors\": %d,\n\
+        \     \"waived\": %d, \"makespan\": %d}%s\n"
+        e.r_name e.r_full_ms e.r_repair_ms e.r_dropped e.r_added e.r_detected e.r_total
+        e.r_vectors e.r_waived e.r_makespan
+        (if i = List.length doc.r_entries - 1 then "" else ","))
+    doc.r_entries;
+  out "  ]\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
 (* regression gate *)
 
 (* Wall-clock and node counts may regress by at most this factor against
@@ -391,6 +428,38 @@ let load_scale path : (scale_doc, string) result =
        | doc -> Ok doc
        | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
 
+let load_repair path : (repair_doc, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match parse text with
+    | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | j ->
+      (match
+         let s = as_str (field "schema" j) in
+         if s <> repair_schema then raise (Bad ("unknown schema " ^ s));
+         let entry e =
+           {
+             r_name = as_str (field "name" e);
+             r_full_ms = as_num (field "full_ms" e);
+             r_repair_ms = as_num (field "repair_ms" e);
+             r_dropped = as_int (field "dropped" e);
+             r_added = as_int (field "added" e);
+             r_detected = as_int (field "detected" e);
+             r_total = as_int (field "total" e);
+             r_vectors = as_int (field "vectors" e);
+             r_waived = as_int (field "waived" e);
+             r_makespan = as_int (field "makespan" e);
+           }
+         in
+         {
+           r_jobs = as_int (field "jobs" j);
+           r_entries = List.map entry (as_arr (field "entries" j));
+         }
+       with
+       | doc -> Ok doc
+       | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
 (* Scale gate: generation, scheduling and path synthesis are all
    deterministic per (family, size) point, so chip shape, makespan and the
    ILP objective must match the baseline exactly; both wall clocks get the
@@ -425,6 +494,46 @@ let compare_scale ~(baseline : scale_doc) (current : scale_doc) : string list * 
         if e.c_paths <> b.c_paths then
           note "%s: path count changed %d -> %d" b.c_name b.c_paths e.c_paths)
     baseline.c_entries;
+  (List.rev !failures, List.rev !notes)
+
+(* Repair gate: the engine is deterministic (no rng, order-preserving
+   fan-out), so every count — damage, cover size, coverage, waivers,
+   makespan — must match the baseline exactly; both wall clocks get the
+   usual tolerance.  Any coverage or suite-shape change means the repair
+   algorithm itself drifted and the baseline refresh must be deliberate. *)
+let compare_repair ~(baseline : repair_doc) (current : repair_doc) : string list * string list
+    =
+  let failures = ref [] in
+  let notes = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  List.iter
+    (fun (b : repair_entry) ->
+      match List.find_opt (fun e -> e.r_name = b.r_name) current.r_entries with
+      | None -> fail "%s: missing from current run" b.r_name
+      | Some e ->
+        if e.r_repair_ms > (tolerance *. b.r_repair_ms) +. 50. then
+          fail "%s: repair wall regression %.1f ms -> %.1f ms (>%.0f%% over baseline)" b.r_name
+            b.r_repair_ms e.r_repair_ms
+            ((tolerance -. 1.) *. 100.);
+        if e.r_full_ms > (tolerance *. b.r_full_ms) +. 50. then
+          note "%s: full-codesign wall drifted %.0f ms -> %.0f ms" b.r_name b.r_full_ms
+            e.r_full_ms;
+        if e.r_dropped <> b.r_dropped then
+          fail "%s: damage set changed %d -> %d dropped vectors" b.r_name b.r_dropped
+            e.r_dropped;
+        if e.r_added <> b.r_added then
+          fail "%s: cover size changed %d -> %d repair vectors" b.r_name b.r_added e.r_added;
+        if e.r_detected <> b.r_detected || e.r_total <> b.r_total then
+          fail "%s: coverage changed %d/%d -> %d/%d" b.r_name b.r_detected b.r_total
+            e.r_detected e.r_total;
+        if e.r_vectors <> b.r_vectors then
+          fail "%s: suite size changed %d -> %d" b.r_name b.r_vectors e.r_vectors;
+        if e.r_waived <> b.r_waived then
+          fail "%s: waiver count changed %d -> %d" b.r_name b.r_waived e.r_waived;
+        if e.r_makespan <> b.r_makespan then
+          fail "%s: makespan mismatch %d -> %d" b.r_name b.r_makespan e.r_makespan)
+    baseline.r_entries;
   (List.rev !failures, List.rev !notes)
 
 (* Scheduler gate: same wall tolerance as the LP gate; makespans (and the

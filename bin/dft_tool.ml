@@ -351,6 +351,272 @@ let codesign_cmd =
       const run $ chip_arg $ assay_arg $ full $ seed $ jobs $ report $ deadline_arg $ ckpt_path
       $ ckpt_every $ resume $ stop_after $ chaos $ cert_prefix)
 
+let repair_cmd =
+  let module Reconfig = Mf_repair.Reconfig in
+  let module Fault = Mf_faults.Fault in
+  (* "sa0:EDGE,sa1:VALVE,leak:VALVE,valves:N" — [valves:N] draws N seed-stable
+     stuck-open sites the way the chaos harness does *)
+  let parse_faults chip ~seed spec =
+    let item s =
+      match String.split_on_char ':' (String.trim s) with
+      | [ "sa0"; e ] -> (
+          match int_of_string_opt e with
+          | Some e -> Ok [ Fault.Stuck_at_0 e ]
+          | None -> Error (Printf.sprintf "bad edge id %S" e))
+      | [ "sa1"; v ] -> (
+          match int_of_string_opt v with
+          | Some v -> Ok [ Fault.Stuck_at_1 v ]
+          | None -> Error (Printf.sprintf "bad valve id %S" v))
+      | [ "leak"; v ] -> (
+          match int_of_string_opt v with
+          | Some v -> Ok [ Fault.Leak v ]
+          | None -> Error (Printf.sprintf "bad valve id %S" v))
+      | [ "valves"; n ] -> (
+          match int_of_string_opt n with
+          | Some n ->
+            Ok
+              (List.map
+                 (fun v -> Fault.Stuck_at_1 v)
+                 (Mf_util.Chaos.sample_sites ~seed ~count:n
+                    ~n_sites:(Chip.n_valves chip)))
+          | None -> Error (Printf.sprintf "bad count %S" n))
+      | _ ->
+        Error
+          (Printf.sprintf "bad fault %S (expected sa0:EDGE, sa1:VALVE, leak:VALVE or valves:N)" s)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.concat (List.rev acc))
+      | s :: rest -> ( match item s with Ok fs -> go (fs :: acc) rest | Error _ as e -> e)
+    in
+    go [] (List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec))
+  in
+  let run chip assay_opt cert_path faults_spec escalate_spec seed jobs deadline ckpt_path
+      ckpt_every resume stop_after out_prefix =
+    let budget = Option.map Mf_util.Budget.of_seconds deadline in
+    let checkpoint =
+      match ckpt_path with
+      | None ->
+        if resume || stop_after <> None then begin
+          Format.eprintf "error: --resume/--stop-after require --checkpoint FILE@.";
+          exit 1
+        end;
+        None
+      | Some path -> Some { Reconfig.path; every = ckpt_every; resume; stop_after }
+    in
+    (* the deployed suite: a shipped certificate, or a fresh in-process
+       baseline on the (then DFT-augmented) chip *)
+    let baseline =
+      match cert_path with
+      | Some path -> (
+          match Mf_verify.Cert.load path with
+          | Error diags ->
+            Format.eprintf "error: %a@." Mf_util.Diag.pp
+              (match Mf_util.Diag.errors diags with d :: _ -> d | [] -> List.hd diags);
+            exit 1
+          | Ok cert ->
+            let s = cert.Mf_verify.Cert.suite in
+            Ok
+              ( chip,
+                {
+                  Vectors.source_port = s.Mf_verify.Cert.source_port;
+                  meter_port = s.Mf_verify.Cert.meter_port;
+                  path_edges = s.Mf_verify.Cert.path_edges;
+                  cut_valves = s.Mf_verify.Cert.cut_valves;
+                } ))
+      | None -> (
+          match Pathgen.generate ~node_limit:800 ?budget chip with
+          | Error f -> Error f
+          | Ok config ->
+            let aug = Pathgen.apply chip config in
+            let cuts =
+              Cutgen.generate aug ~source:config.Pathgen.src_port
+                ~meter:config.Pathgen.dst_port
+            in
+            let suite = Vectors.of_config config cuts in
+            let suite =
+              if Vectors.is_valid aug suite then suite else Mf_testgen.Repair.run aug suite
+            in
+            Ok (aug, suite))
+    in
+    match baseline with
+    | Error f ->
+      Format.eprintf "error: %a@." Mf_util.Fail.pp f;
+      exit 1
+    | Ok (chip, suite) ->
+      let faults =
+        match faults_spec with
+        | Some spec -> (
+            match parse_faults chip ~seed spec with
+            | Ok fs -> fs
+            | Error msg ->
+              Format.eprintf "error: --faults: %s@." msg;
+              exit 1)
+        | None ->
+          List.map
+            (fun v -> Fault.Stuck_at_1 v)
+            (Mf_util.Chaos.valve_fault_sites ~n_sites:(Chip.n_valves chip))
+      in
+      if faults = [] then begin
+        Format.eprintf
+          "error: no faults: pass --faults SPEC or export MFDFT_CHAOS=valve-faults:N@.";
+        exit 1
+      end;
+      let more_faults =
+        match escalate_spec with
+        | None -> None
+        | Some spec -> (
+            match parse_faults chip ~seed spec with
+            | Ok fs -> Some (fun ~round -> if round = 1 then fs else [])
+            | Error msg ->
+              Format.eprintf "error: --escalate: %s@." msg;
+              exit 1)
+      in
+      let params = { Reconfig.default_params with Reconfig.seed; jobs = max 1 jobs } in
+      Format.printf "repair %s: %d fault(s), %d vector(s) deployed (seed %d, %d job%s)...@."
+        (Chip.name chip) (List.length faults) (Vectors.count suite) seed params.Reconfig.jobs
+        (if params.Reconfig.jobs = 1 then "" else "s");
+      (match
+         Reconfig.repair ~params ?budget ?checkpoint
+           ?app:(Option.map snd assay_opt) ?more_faults chip suite faults
+       with
+      | Error f ->
+        Format.eprintf "error: %a@." Mf_util.Fail.pp f;
+        exit 1
+      | Ok r ->
+        let st = r.Reconfig.stats in
+        List.iter
+          (fun f -> Format.printf "fault: %a@." (Fault.pp r.Reconfig.chip) f)
+          r.Reconfig.faults;
+        Format.printf
+          "rounds: %d  damaged: %d  reused: %d  added: %d  candidates: %d  runtime: %.2f s@."
+          st.Reconfig.rounds st.Reconfig.damaged st.Reconfig.reused st.Reconfig.added
+          st.Reconfig.candidates st.Reconfig.runtime;
+        Format.printf "coverage on degraded chip: %a@." Mf_faults.Coverage.pp
+          r.Reconfig.coverage;
+        List.iter
+          (fun f ->
+            Format.printf "waived (proved untestable): %a@." (Fault.pp r.Reconfig.chip) f)
+          r.Reconfig.untestable;
+        (match (r.Reconfig.exec_before, r.Reconfig.exec_after) with
+         | Some before, Some after ->
+           Format.printf "assay makespan: %d -> %d ticks@." before after
+         | _ -> ());
+        (match r.Reconfig.degradations with
+         | [] -> ()
+         | ds ->
+           Format.printf "degraded result (still valid):@.";
+           List.iter
+             (fun d -> Format.printf "  - %s@." (Reconfig.degradation_to_string d))
+             ds);
+        let n_err, n_warn = Mf_util.Diag.count r.Reconfig.diags in
+        Format.printf "re-certification (independent): %d error(s), %d warning(s)@." n_err
+          n_warn;
+        List.iter (fun d -> Format.printf "  %a@." Mf_util.Diag.pp d) r.Reconfig.diags;
+        (match out_prefix with
+         | None -> ()
+         | Some prefix ->
+           let chip_path = prefix ^ ".chip" and cert_path = prefix ^ ".cert" in
+           Mf_arch.Chip_io.save chip_path r.Reconfig.chip;
+           Mf_verify.Cert.save cert_path r.Reconfig.cert;
+           Format.printf
+             "certificate written: %s + %s (re-check with: mfdft verify --chip %s --cert %s)@."
+             chip_path cert_path chip_path cert_path);
+        prof_dump ();
+        if n_err > 0 then exit 2)
+  in
+  let assay_opt =
+    Arg.(
+      value
+      & opt (some assay_conv) None
+      & info [ "assay" ] ~docv:"ASSAY"
+          ~doc:"Report the assay's makespan before and after repair.")
+  in
+  let cert_path =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "cert" ] ~docv:"FILE"
+          ~doc:
+            "Deployed certificate to repair (from codesign --cert or a previous repair). \
+             Without it a fresh baseline suite is generated in-process.")
+  in
+  let faults_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Observed faults: comma-separated sa0:EDGE, sa1:VALVE, leak:VALVE, or valves:N \
+             (N seed-stable stuck-open sites, as the chaos harness injects). Defaults to the \
+             MFDFT_CHAOS=valve-faults:N environment mode.")
+  in
+  let escalate_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "escalate" ] ~docv:"SPEC"
+          ~doc:
+            "Additional faults (same syntax as --faults) reported after the first repair \
+             round completes — exercises the online escalation loop.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for valves:N sampling.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Generate candidates on $(docv) domains. Results are identical for any value.")
+  in
+  let ckpt_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Save the repair state to $(docv) after rounds so the run can be resumed.")
+  in
+  let ckpt_every =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) repair rounds.")
+  in
+  let resume =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the file given with --checkpoint. The resumed repair is bit-identical \
+             to an uninterrupted run; a missing or corrupt file is a hard error.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:"Stop after $(docv) repair rounds, saving a checkpoint (interrupted-run testing).")
+  in
+  let out_prefix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:
+            "Write the repaired result as $(docv).chip plus $(docv).cert, re-checkable \
+             offline with $(b,mfdft verify).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Incrementally repair a deployed test suite against observed valve/channel faults \
+          and re-certify it — damage analysis, warm-started set-cover, typed degradation, \
+          never a from-scratch codesign.")
+    Term.(
+      const run $ chip_arg $ assay_opt $ cert_path $ faults_spec $ escalate_spec $ seed $ jobs
+      $ deadline_arg $ ckpt_path $ ckpt_every $ resume $ stop_after $ out_prefix)
+
 let gen_cmd =
   let run family_name size seed out =
     match Mf_chips.Families.by_name family_name with
@@ -453,7 +719,7 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; render_cmd; gen_cmd; lint_cmd; verify_cmd; testgen_cmd; schedule_cmd;
-        codesign_cmd; export_cmd ]
+        codesign_cmd; repair_cmd; export_cmd ]
   in
   (* One-line diagnostics instead of backtraces: anything the commands do
      not handle themselves surfaces as "mfdft: error: ..." with exit 3. *)

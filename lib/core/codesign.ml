@@ -358,10 +358,15 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
   Domain_pool.with_pool ~jobs:(max 1 params.jobs) @@ fun dpool ->
   let resume_snap =
     match checkpoint with
-    | Some ck when ck.resume && Sys.file_exists ck.path ->
-      (match load_snapshot ~seed:params.seed ~outer:params.outer ck.path with
-       | Ok snap -> Ok (Some snap)
-       | Error f -> Error f)
+    | Some ck when ck.resume ->
+      if not (Sys.file_exists ck.path) then
+        Error
+          (Mf_util.Fail.v Mf_util.Fail.Codesign
+             (Printf.sprintf "cannot resume: checkpoint %s does not exist" ck.path))
+      else (
+        match load_snapshot ~seed:params.seed ~outer:params.outer ck.path with
+        | Ok snap -> Ok (Some snap)
+        | Error f -> Error f)
     | _ -> Ok None
   in
   match resume_snap with
@@ -632,5 +637,6 @@ let certificate (r : result) =
     ~claimed_vectors:(Vectors.count r.suite)
     ~claimed_coverage:
       (report.Mf_faults.Coverage.detected, report.Mf_faults.Coverage.total_faults)
+    ()
 
 let verify r = Mf_verify.Verify.certificate r.shared (certificate r)

@@ -88,7 +88,9 @@ val invalid_threshold : float
 type checkpoint = {
   path : string;  (** snapshot file, written atomically (tmp + rename) *)
   every : int;  (** save after every [every] outer iterations; [0] = only on stop/finish *)
-  resume : bool;  (** load [path] first if it exists and continue from it *)
+  resume : bool;
+      (** load [path] first and continue from it; a missing, truncated or
+          mismatched file is a typed error, never a silent fresh start *)
   stop_after : int option;
       (** save and abort (with a typed error naming the checkpoint) after
           this many completed outer iterations — bounded sessions, and the

@@ -14,18 +14,30 @@ let complete r =
 
 let ratio r = if r.total_faults = 0 then 1. else float_of_int r.detected /. float_of_int r.total_faults
 
-let measure ?(include_leaks = false) chip vectors =
+let measure ?(include_leaks = false) ?present chip vectors =
   let malformed =
-    List.fold_left (fun n v -> if Pressure.well_formed chip v then n else n + 1) 0 vectors
+    List.fold_left
+      (fun n v -> if Pressure.well_formed ?present chip v then n else n + 1)
+      0 vectors
   in
   let faults = if include_leaks then Fault.all_with_leaks chip else Fault.all chip in
+  let faults =
+    (* faults already present on the chip are the simulation baseline, not
+       test targets: detection is measured over the remaining universe *)
+    match present with
+    | None -> faults
+    | Some ctx ->
+      let ctx_faults = Pressure.context_faults ctx in
+      List.filter (fun f -> not (List.exists (Fault.equal f) ctx_faults)) faults
+  in
   let detected = ref 0 in
   let sa0_undetected = ref [] in
   let sa1_undetected = ref [] in
   let leak_undetected = ref [] in
   List.iter
     (fun fault ->
-      if List.exists (fun v -> Pressure.detects chip v fault) vectors then incr detected
+      if List.exists (fun v -> Pressure.detects ?present chip v fault) vectors then
+        incr detected
       else
         match fault with
         | Fault.Stuck_at_0 e -> sa0_undetected := e :: !sa0_undetected

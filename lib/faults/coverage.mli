@@ -16,9 +16,14 @@ val complete : report -> bool
 val ratio : report -> float
 (** Detected fraction, in [0, 1]. *)
 
-val measure : ?include_leaks:bool -> Mf_arch.Chip.t -> Vector.t list -> report
+val measure :
+  ?include_leaks:bool -> ?present:Pressure.context -> Mf_arch.Chip.t -> Vector.t list ->
+  report
 (** Exhaustive single-fault simulation of the vector set.  The default
     universe is the paper's demonstration scope (stuck-at-0/1);
-    [include_leaks] extends it with the control-to-flow leak per valve. *)
+    [include_leaks] extends it with the control-to-flow leak per valve.
+    With [?present], simulation runs on the degraded chip (the context's
+    faults are treated as physically there) and the universe excludes the
+    context faults themselves — the repair engine's re-validation view. *)
 
 val pp : Format.formatter -> report -> unit

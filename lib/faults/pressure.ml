@@ -1,48 +1,81 @@
 module Chip = Mf_arch.Chip
 module Bitset = Mf_util.Bitset
 module Grid = Mf_grid.Grid
+module Graph = Mf_graph.Graph
 module Traverse = Mf_graph.Traverse
 
-let conducts chip ?fault ~active_lines e =
+(* A set of faults treated as *present* on the chip — the field-fault
+   context the repair engine simulates against.  Compiled to bitsets so the
+   inner reachability loops pay one [mem] per edge, not a list scan. *)
+type context = {
+  ctx_faults : Fault.t list;
+  ctx_blocked : Bitset.t; (* edge ids with a present stuck-at-0 *)
+  ctx_open : Bitset.t; (* valve ids with a present stuck-at-1 *)
+  ctx_leaks : int list; (* valve ids with a present control-to-flow leak *)
+}
+
+let context chip faults =
+  let g = Grid.graph (Chip.grid chip) in
+  let blocked = Bitset.create (Graph.n_edges g) in
+  let open_ = Bitset.create (max 1 (Chip.n_valves chip)) in
+  let leaks = ref [] in
+  List.iter
+    (function
+      | Fault.Stuck_at_0 e -> Bitset.add blocked e
+      | Fault.Stuck_at_1 v -> Bitset.add open_ v
+      | Fault.Leak v -> if not (List.mem v !leaks) then leaks := v :: !leaks)
+    faults;
+  { ctx_faults = faults; ctx_blocked = blocked; ctx_open = open_; ctx_leaks = List.rev !leaks }
+
+let context_faults c = c.ctx_faults
+let blocked c e = Bitset.mem c.ctx_blocked e
+let stuck_open c v = Bitset.mem c.ctx_open v
+
+let conducts chip ?present ?fault ~active_lines e =
   Chip.is_channel chip e
+  && (match present with Some c when Bitset.mem c.ctx_blocked e -> false | _ -> true)
   && (match fault with Some (Fault.Stuck_at_0 e') when e' = e -> false | _ -> true)
   &&
   match Chip.valve_on chip e with
   | None -> true
   | Some v ->
     (not (Bitset.mem active_lines v.control))
+    || (match present with Some c when Bitset.mem c.ctx_open v.valve_id -> true | _ -> false)
     || (match fault with Some (Fault.Stuck_at_1 v') -> v' = v.valve_id | _ -> false)
 
-let reach chip ?fault (v : Vector.t) =
+let reach chip ?present ?fault (v : Vector.t) =
   let g = Grid.graph (Chip.grid chip) in
-  let allowed e = conducts chip ?fault ~active_lines:v.active_lines e in
+  let allowed e = conducts chip ?present ?fault ~active_lines:v.active_lines e in
   let from_source = Traverse.reachable g ~allowed ~src:v.source in
   (* a control-to-flow leak injects air at the valve seat whenever its
      control line is pressurised, independent of the test source *)
-  match fault with
-  | Some (Fault.Leak w) ->
+  let leak_in w =
     let valve = (Chip.valves chip).(w) in
     if Bitset.mem v.active_lines valve.control then begin
       let a, b = Mf_graph.Graph.endpoints g valve.edge in
       Bitset.union_into from_source (Traverse.reachable g ~allowed ~src:a);
-      Bitset.union_into from_source (Traverse.reachable g ~allowed ~src:b);
-      from_source
+      Bitset.union_into from_source (Traverse.reachable g ~allowed ~src:b)
     end
-    else from_source
-  | Some (Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _) | None -> from_source
+  in
+  (match present with None -> () | Some c -> List.iter leak_in c.ctx_leaks);
+  (match fault with
+   | Some (Fault.Leak w) -> leak_in w
+   | Some (Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _) | None -> ());
+  from_source
 
-let reading chip ?fault (v : Vector.t) =
-  let r = reach chip ?fault v in
+let reading chip ?present ?fault (v : Vector.t) =
+  let r = reach chip ?present ?fault v in
   List.exists (fun meter -> Bitset.mem r meter) v.meters
 
-let readings chip ?fault (v : Vector.t) =
-  let r = reach chip ?fault v in
+let readings chip ?present ?fault (v : Vector.t) =
+  let r = reach chip ?present ?fault v in
   List.map (fun meter -> Bitset.mem r meter) v.meters
 
-let detects chip (v : Vector.t) fault = readings chip ~fault v <> readings chip v
+let detects ?present chip (v : Vector.t) fault =
+  readings chip ?present ~fault v <> readings chip ?present v
 
-let well_formed chip (v : Vector.t) =
+let well_formed ?present chip (v : Vector.t) =
   (* every meter must agree with the vector's expectation when no defect is
      present: a path/tree vector pressurises all its meters, a cut vector
      none of them *)
-  List.for_all (fun r -> r = v.expected) (readings chip v)
+  List.for_all (fun r -> r = v.expected) (readings chip ?present v)

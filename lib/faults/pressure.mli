@@ -4,26 +4,51 @@
     edge; a meter reads pressure iff it is in the connected component of the
     source.  An edge conducts when it carries a channel, is not blocked by a
     stuck-at-0 defect, and its valve (if any) is open — either because its
-    control line is inactive or because the valve is stuck-at-1. *)
+    control line is inactive or because the valve is stuck-at-1.
+
+    {b Fault contexts.}  Every query takes an optional [?present] context: a
+    set of faults simulated as {e already on the chip} (field faults the
+    repair engine adapts to).  A present stuck-at-0 blocks its edge in every
+    simulation, a present stuck-at-1 keeps its valve conducting, a present
+    leak feeds its valve seat whenever its line is pressurised.  [?fault]
+    remains the {e candidate} fault under test, injected on top of the
+    context; {!detects} compares readings with and without it, both under
+    the same context. *)
+
+type context
+(** A compiled fault set; build once per fault state, reuse across vectors. *)
+
+val context : Mf_arch.Chip.t -> Fault.t list -> context
+val context_faults : context -> Fault.t list
+
+val blocked : context -> int -> bool
+(** Is this edge stuck-at-0 in the context? *)
+
+val stuck_open : context -> int -> bool
+(** Is this valve stuck-at-1 in the context? *)
 
 val conducts :
-  Mf_arch.Chip.t -> ?fault:Fault.t -> active_lines:Mf_util.Bitset.t -> int -> bool
-(** Does a single edge conduct under the given control state and optional
-    injected fault? *)
+  Mf_arch.Chip.t -> ?present:context -> ?fault:Fault.t -> active_lines:Mf_util.Bitset.t ->
+  int -> bool
+(** Does a single edge conduct under the given control state, fault context
+    and optional injected fault? *)
 
-val reading : Mf_arch.Chip.t -> ?fault:Fault.t -> Vector.t -> bool
-(** [reading chip ?fault v] applies vector [v] and reports whether any meter
-    observes pressure. *)
+val reading : Mf_arch.Chip.t -> ?present:context -> ?fault:Fault.t -> Vector.t -> bool
+(** [reading chip ?present ?fault v] applies vector [v] and reports whether
+    any meter observes pressure. *)
 
-val readings : Mf_arch.Chip.t -> ?fault:Fault.t -> Vector.t -> bool list
+val readings : Mf_arch.Chip.t -> ?present:context -> ?fault:Fault.t -> Vector.t -> bool list
 (** Per-meter readings, in [v.meters] order. *)
 
-val detects : Mf_arch.Chip.t -> Vector.t -> Fault.t -> bool
+val detects : ?present:context -> Mf_arch.Chip.t -> Vector.t -> Fault.t -> bool
 (** A vector detects a fault when the faulty reading of {e some} meter
     differs from its fault-free reading (each meter is observed
-    independently on the test bench). *)
+    independently on the test bench).  Both readings are taken under the
+    same [present] context. *)
 
-val well_formed : Mf_arch.Chip.t -> Vector.t -> bool
-(** The vector's fault-free reading matches its [expected] field — the
-    basic sanity required before a vector may enter a test set (an invalid
-    cut vector, for instance, reads pressure even without defects). *)
+val well_formed : ?present:context -> Mf_arch.Chip.t -> Vector.t -> bool
+(** The vector's context-only reading (no candidate fault) matches its
+    [expected] field — the basic sanity required before a vector may enter
+    a test set.  Under a non-empty context this is the {e damage test}: a
+    path vector that traverses a blocked edge, or a cut vector defeated by
+    a stuck-open valve, is no longer well-formed. *)

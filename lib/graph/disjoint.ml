@@ -1,0 +1,165 @@
+module Bitset = Mf_util.Bitset
+
+type result = Route of int list | No_route | Capped
+
+let default_cap = 50_000
+
+exception Found of (int * int * int) list
+exception Hit_cap
+
+let route_through g ~allowed ~contract ~origins ~target ~via ~cap =
+  let nn = Graph.n_nodes g in
+  let ne = Graph.n_edges g in
+  let inner f = f <> via && contract f in
+  (* Union-find labels of the components of the contracted subgraph minus
+     [via]; two nodes with one label are joined whatever else happens. *)
+  let parent = Array.init nn Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  for f = 0 to ne - 1 do
+    if inner f then begin
+      let u, v = Graph.endpoints g f in
+      let ru = find u and rv = find v in
+      if ru <> rv then parent.(ru) <- rv
+    end
+  done;
+  let comp = find in
+  let a_via, b_via = Graph.endpoints g via in
+  let ca = comp a_via and cb = comp b_via in
+  let tstar = comp target in
+  let origin_comps = Bitset.create nn in
+  List.iter (fun o -> Bitset.add origin_comps (comp o)) origins;
+  if ca = cb || Bitset.mem origin_comps tstar then No_route
+  else begin
+    (* Contracted adjacency: switchable edges joining distinct components,
+       sorted by edge id so traversal order (hence the step count and any
+       route found) is deterministic. *)
+    let adj = Array.make nn [] in
+    for f = ne - 1 downto 0 do
+      if f <> via && allowed f then begin
+        let u, v = Graph.endpoints g f in
+        let cu = comp u and cv = comp v in
+        if cu <> cv then begin
+          adj.(cu) <- (f, u, v, cv) :: adj.(cu);
+          adj.(cv) <- (f, v, u, cu) :: adj.(cv)
+        end
+      end
+    done;
+    let visited = Bitset.create nn in
+    let steps = ref 0 in
+    (* Reachability over components, skipping [avoid]ed ones; [dst] itself is
+       never rejected.  Used only to prune branches that cannot complete, so
+       being permissive is safe. *)
+    let creach ~avoid src dst =
+      src = dst
+      || begin
+        let seen = Bitset.create nn in
+        Bitset.add seen src;
+        let frontier = Queue.create () in
+        Queue.add src frontier;
+        let hit = ref false in
+        while (not !hit) && not (Queue.is_empty frontier) do
+          let c = Queue.pop frontier in
+          List.iter
+            (fun (_, _, _, d) ->
+              if d = dst then hit := true
+              else if (not (Bitset.mem seen d)) && not (avoid d) then begin
+                Bitset.add seen d;
+                Queue.add d frontier
+              end)
+            adj.(c)
+        done;
+        !hit
+      end
+    in
+    let post_avoid c = Bitset.mem visited c || Bitset.mem origin_comps c in
+    (* Depth-first search for a component-simple origin→target path crossing
+       [via] exactly once.  Before the crossing the target's component is off
+       limits (touching it would leave the meter side pressurised without
+       [via]); after it the origin components are (pressure would bypass
+       [via] into the meter side). *)
+    let rec dfs c used acc =
+      incr steps;
+      if !steps > cap then raise Hit_cap;
+      if c = tstar && used then raise (Found (List.rev acc));
+      if used then begin
+        if creach ~avoid:post_avoid c tstar then expand c used acc
+      end
+      else begin
+        let feasible cnear cfar =
+          creach ~avoid:(fun d -> Bitset.mem visited d || d = tstar) c cnear
+          && creach ~avoid:(fun d -> post_avoid d || d = cnear) cfar tstar
+        in
+        if feasible ca cb || feasible cb ca then expand c used acc
+      end
+    and expand c used acc =
+      if not used then begin
+        (* crossing [via] is available from either of its components *)
+        let may_land d = not (Bitset.mem visited d || Bitset.mem origin_comps d) in
+        if c = ca && may_land cb then step cb true ((via, a_via, b_via) :: acc);
+        if c = cb && may_land ca then step ca true ((via, b_via, a_via) :: acc)
+      end;
+      List.iter
+        (fun (f, u, v, d) ->
+          if
+            (not (Bitset.mem visited d))
+            && (if used then not (Bitset.mem origin_comps d) else d <> tstar)
+          then step d used ((f, u, v) :: acc))
+        adj.(c)
+    and step d used acc =
+      Bitset.add visited d;
+      dfs d used acc;
+      Bitset.remove visited d
+    in
+    let starts =
+      (* one start per distinct origin component, first origin wins *)
+      let seen = Bitset.create nn in
+      List.filter
+        (fun o ->
+          let c = comp o in
+          if Bitset.mem seen c then false
+          else begin
+            Bitset.add seen c;
+            true
+          end)
+        origins
+    in
+    match
+      List.iter
+        (fun o ->
+          let c = comp o in
+          Bitset.add visited c;
+          dfs c false [];
+          Bitset.remove visited c)
+        starts
+    with
+    | () -> No_route
+    | exception Hit_cap -> Capped
+    | exception Found crossings ->
+      (* Lift the component path to a concrete edge path: stitch the
+         crossings together with always-usable intra-component segments. *)
+      let start_comp =
+        match crossings with (_, u, _) :: _ -> comp u | [] -> assert false
+      in
+      let start = List.find (fun o -> comp o = start_comp) origins in
+      let stitch src dst =
+        match Traverse.bfs_path g ~allowed:inner ~src ~dst with
+        | Some seg -> seg
+        | None -> invalid_arg "Disjoint.route_through: contraction out of sync"
+      in
+      let segs = ref [] in
+      let cur = ref start in
+      List.iter
+        (fun (f, u, v) ->
+          segs := [ f ] :: stitch !cur u :: !segs;
+          cur := v)
+        crossings;
+      segs := stitch !cur target :: !segs;
+      Route (List.concat (List.rev !segs))
+  end

@@ -1,0 +1,53 @@
+(** Exact search for a path that keeps one designated edge a {e bridge} of
+    the realized conducting subgraph — the structural core of fault
+    observability.
+
+    The setting: some edges of the graph conduct under {e every} control
+    vector ([contract] — unvalved channels and valves a fault context holds
+    open), the rest ([allowed]) conduct only when a vector opens them, and a
+    vector's conducting subgraph is exactly its chosen path plus all
+    [contract] edges.  A vector can observe edge [via] at [target] precisely
+    when its path crosses [via] once and neither half touches the
+    always-conducting component of the far side — any such contact
+    reconnects around [via] no matter what the vector does.
+
+    {!route_through} decides this exactly (up to [cap]) by depth-first
+    search over the graph with [contract]-components contracted: a found
+    route is a concrete witness path; exhaustion is a sound proof that no
+    observing vector exists at all.  The search is deterministic — fixed
+    traversal order, no randomness — so independent callers (test
+    generation, repair and certificate audit) reach identical verdicts. *)
+
+val default_cap : int
+(** Expansion budget every caller should use unless it has a reason not to:
+    producer and auditor must agree on when a search counts as exhausted,
+    and that requires one shared cap. *)
+
+type result =
+  | Route of int list
+      (** witness: a simple edge path from an origin to [target] crossing
+          [via] exactly once, with both halves clear of the far side's
+          always-conducting component *)
+  | No_route
+      (** exhaustive: no such path exists, hence no vector observes [via] *)
+  | Capped  (** undecided: the search exceeded [cap] expansions *)
+
+val route_through :
+  Graph.t ->
+  allowed:(int -> bool) ->
+  contract:(int -> bool) ->
+  origins:int list ->
+  target:int ->
+  via:int ->
+  cap:int ->
+  result
+(** [route_through g ~allowed ~contract ~origins ~target ~via ~cap].
+
+    [allowed] are the edges a vector may conduct through (excluding any the
+    caller knows to be dead); [contract] ⊆ [allowed] are the edges that
+    conduct under every vector; [via] is the edge to observe and is crossed
+    exactly once regardless of its [allowed]/[contract] status.  [origins]
+    are pressure entry nodes: the route starts at the first origin whose
+    component admits one, may revisit origin components before crossing
+    [via] but never after, and only enters [target]'s component as its
+    final step.  [cap] bounds DFS node expansions. *)

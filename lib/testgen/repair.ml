@@ -8,63 +8,145 @@ module Vector = Mf_faults.Vector
 module Pressure = Mf_faults.Pressure
 module Fault = Mf_faults.Fault
 
-(* A simple source→meter path through channel edge [via], as two
-   node-disjoint halves; [weight] steers the detour. *)
-let simple_path_through chip ~s ~t ~via ~weight =
+let channel_pred chip present via f =
+  f <> via
+  && Chip.is_channel chip f
+  && match present with None -> true | Some ctx -> not (Pressure.blocked ctx f)
+
+(* Edges that conduct under *every* vector: unvalved channels, plus valves
+   the context leaves stuck open.  A path/cut vector's conducting graph is
+   exactly its own path plus these, so masking analysis reduces to the
+   components they induce. *)
+let always_conducting chip present f =
+  Chip.is_channel chip f
+  && (match present with Some ctx when Pressure.blocked ctx f -> false | _ -> true)
+  &&
+  match Chip.valve_on chip f with
+  | None -> true
+  | Some v -> (
+      match present with Some ctx -> Pressure.stuck_open ctx v.valve_id | None -> false)
+
+(* Union-find labels of the components of the always-conducting subgraph
+   minus [via]: two nodes with one label are connected whatever the vector
+   does, so a detour reentering a used label would mask the target edge. *)
+let conduction_components chip present ~via =
+  let g = Grid.graph (Chip.grid chip) in
+  let nn = Graph.n_nodes g in
+  let parent = Array.init nn Fun.id in
+  let rec find i = if parent.(i) = i then i else begin
+    let r = find parent.(i) in
+    parent.(i) <- r;
+    r
+  end in
+  for f = 0 to Graph.n_edges g - 1 do
+    if f <> via && always_conducting chip present f then begin
+      let u, v = Graph.endpoints g f in
+      let ru = find u and rv = find v in
+      if ru <> rv then parent.(ru) <- rv
+    end
+  done;
+  fun n -> find n
+
+(* A source→meter path through channel edge [via] on which [via] stays a
+   {e bridge} of the realized conducting graph: the two halves are disjoint
+   at the level of always-conducting components, so no vector-independent
+   detour can reconnect around [via].  [weight] steers the detour. *)
+let bridge_path_through chip ?present ~s ~t ~via ~weight () =
   let g = Grid.graph (Chip.grid chip) in
   let a, b = Graph.endpoints g via in
-  let channel f = f <> via && Chip.is_channel chip f in
-  let try_orientation (a, b) =
-    match Traverse.dijkstra g ~allowed:channel ~weight ~src:s ~dst:a with
-    | None -> None
-    | Some (_, half1) ->
-      let used = Bitset.create (Graph.n_nodes g) in
-      List.iter (Bitset.add used) (Traverse.path_nodes g ~src:s half1);
-      if Bitset.mem used b || Bitset.mem used t then None
-      else begin
-        let avoid f =
-          channel f
-          &&
-          let u, v = Graph.endpoints g f in
-          let fresh n = n = b || n = t || not (Bitset.mem used n) in
-          fresh u && fresh v
-        in
-        match Traverse.dijkstra g ~allowed:avoid ~weight ~src:b ~dst:t with
-        | None -> None
-        | Some (_, half2) -> Some (half1 @ (via :: half2))
-      end
-  in
-  match try_orientation (a, b) with Some p -> Some p | None -> try_orientation (b, a)
+  let channel = channel_pred chip present via in
+  let comp = conduction_components chip present ~via in
+  if comp a = comp b then None (* an always-conducting detour spans [via] itself *)
+  else begin
+    let try_orientation (a, b) =
+      match Traverse.dijkstra g ~allowed:channel ~weight ~src:s ~dst:a with
+      | None -> None
+      | Some (_, half1) ->
+        let used = Bitset.create (Graph.n_nodes g) in
+        List.iter (fun n -> Bitset.add used (comp n)) (Traverse.path_nodes g ~src:s half1);
+        if Bitset.mem used (comp b) || Bitset.mem used (comp t) then None
+        else begin
+          let avoid f =
+            channel f
+            &&
+            let u, v = Graph.endpoints g f in
+            let fresh n =
+              let c = comp n in
+              c = comp b || c = comp t || not (Bitset.mem used c)
+            in
+            fresh u && fresh v
+          in
+          match Traverse.dijkstra g ~allowed:avoid ~weight ~src:b ~dst:t with
+          | None -> None
+          | Some (_, half2) -> Some (half1 @ (via :: half2))
+        end
+    in
+    match try_orientation (a, b) with Some p -> Some p | None -> try_orientation (b, a)
+  end
 
-let candidate_paths chip ~s ~t ~via =
+let candidate_paths chip ?present ~s ~t ~via () =
   let g = Grid.graph (Chip.grid chip) in
   let ne = Graph.n_edges g in
   let rng = Rng.create ~seed:(31 + via) in
+  (* riding along always-conducting edges is free of masking risk (they are
+     live either way), so bias the detour search toward them *)
+  let discount f = if always_conducting chip present f then 0.125 else 1. in
   List.filter_map
     (fun attempt ->
       let weight =
-        if attempt = 0 then fun _ -> 1.
+        if attempt = 0 then discount
         else begin
           let noise = Array.init ne (fun _ -> Rng.float rng 4.) in
-          fun f -> 1. +. noise.(f)
+          fun f -> discount f *. (1. +. noise.(f))
         end
       in
-      simple_path_through chip ~s ~t ~via ~weight)
+      bridge_path_through chip ?present ~s ~t ~via ~weight ())
     (List.init 6 Fun.id)
 
-let repair_sa0 chip ~s ~t edge =
+let dedup lists =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest -> if List.mem x seen then go seen rest else x :: go (x :: seen) rest
+  in
+  go [] lists
+
+(* Complete (up to the cap) fallback: the heuristic above can miss routes
+   whose halves must thread between always-conducting components, the exact
+   contracted-graph search cannot. *)
+let exact_route chip ?present ~s ~t ~via () =
+  let g = Grid.graph (Chip.grid chip) in
+  let allowed f =
+    Chip.is_channel chip f
+    && match present with Some ctx -> not (Pressure.blocked ctx f) | None -> true
+  in
+  let contract f = always_conducting chip present f in
+  match
+    Mf_graph.Disjoint.route_through g ~allowed ~contract ~origins:[ s ] ~target:t ~via
+      ~cap:Mf_graph.Disjoint.default_cap
+  with
+  | Mf_graph.Disjoint.Route p -> [ p ]
+  | Mf_graph.Disjoint.No_route | Mf_graph.Disjoint.Capped -> []
+
+let candidates_sa0 ?present chip ~s ~t edge =
   let accept path =
     let vec = Vector.of_path chip ~source:s ~meters:[ t ] path in
-    Pressure.well_formed chip vec && Pressure.detects chip vec (Fault.Stuck_at_0 edge)
+    Pressure.well_formed ?present chip vec
+    && Pressure.detects ?present chip vec (Fault.Stuck_at_0 edge)
   in
-  List.find_opt accept (candidate_paths chip ~s ~t ~via:edge)
+  dedup
+    (List.filter accept
+       (candidate_paths chip ?present ~s ~t ~via:edge ()
+       @ exact_route chip ?present ~s ~t ~via:edge ()))
+
+let repair_sa0 ?present chip ~s ~t edge =
+  match candidates_sa0 ?present chip ~s ~t edge with [] -> None | p :: _ -> Some p
 
 (* Worst-case stuck-at-1 vector (Sec. 3): close every valve except those on
    one leak path through the defective valve, so pressure at the meter can
    only mean that [v] failed to close. *)
-let repair_sa1 chip ~s ~t valve_id =
+let candidates_sa1 ?present chip ~s ~t valve_id =
   let v = (Chip.valves chip).(valve_id) in
-  let try_path path =
+  let cut_of path =
     let open_valves =
       List.filter_map
         (fun f ->
@@ -78,21 +160,29 @@ let repair_sa1 chip ~s ~t valve_id =
       |> List.filter (fun w -> not (List.mem w open_valves))
     in
     let vec = Vector.of_cut chip ~source:s ~meters:[ t ] cut in
-    if Pressure.well_formed chip vec && Pressure.detects chip vec (Fault.Stuck_at_1 valve_id)
+    if
+      Pressure.well_formed ?present chip vec
+      && Pressure.detects ?present chip vec (Fault.Stuck_at_1 valve_id)
     then Some cut
     else None
   in
-  List.find_map try_path (candidate_paths chip ~s ~t ~via:v.edge)
+  dedup
+    (List.filter_map cut_of
+       (candidate_paths chip ?present ~s ~t ~via:v.edge ()
+       @ exact_route chip ?present ~s ~t ~via:v.edge ()))
 
-let run chip (suite : Vectors.t) =
-  let report = Vectors.validate chip suite in
+let repair_sa1 ?present chip ~s ~t valve_id =
+  match candidates_sa1 ?present chip ~s ~t valve_id with [] -> None | c :: _ -> Some c
+
+let run ?present chip (suite : Vectors.t) =
+  let report = Vectors.validate ?present chip suite in
   let ports = Chip.ports chip in
   let s = ports.(suite.source_port).node and t = ports.(suite.meter_port).node in
   let extra_paths =
-    List.filter_map (fun e -> repair_sa0 chip ~s ~t e) report.sa0_undetected
+    List.filter_map (fun e -> repair_sa0 ?present chip ~s ~t e) report.sa0_undetected
   in
   let extra_cuts =
-    List.filter_map (fun v -> repair_sa1 chip ~s ~t v) report.sa1_undetected
+    List.filter_map (fun v -> repair_sa1 ?present chip ~s ~t v) report.sa1_undetected
   in
   {
     suite with

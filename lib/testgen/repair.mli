@@ -12,9 +12,37 @@
       confirms detection);
     - stuck-at-1 at valve [v]: the paper's worst-case construction — close
       every valve except those on one leak path through [v], so the only
-      possible pressure route runs through the defect. *)
+      possible pressure route runs through the defect.
 
-val run : Mf_arch.Chip.t -> Vectors.t -> Vectors.t
+    Every entry point takes [?present], a field-fault context
+    ({!Mf_faults.Pressure.context}): candidate routes avoid context-blocked
+    edges and every candidate is confirmed by simulation {e on the degraded
+    chip}, which is what the fault-adaptive repair engine needs. *)
+
+val candidates_sa0 :
+  ?present:Mf_faults.Pressure.context ->
+  Mf_arch.Chip.t -> s:int -> t:int -> int -> int list list
+(** [candidates_sa0 chip ~s ~t e] is every distinct candidate path (edge
+    lists, source node [s] to meter node [t]) confirmed by simulation to
+    detect stuck-at-0 at edge [e].  Deterministic; may be empty. *)
+
+val candidates_sa1 :
+  ?present:Mf_faults.Pressure.context ->
+  Mf_arch.Chip.t -> s:int -> t:int -> int -> int list list
+(** Same for stuck-at-1 at a valve id: every distinct confirmed cut
+    (valve-id lists). *)
+
+val repair_sa0 :
+  ?present:Mf_faults.Pressure.context ->
+  Mf_arch.Chip.t -> s:int -> t:int -> int -> int list option
+(** First confirmed candidate of {!candidates_sa0}, if any. *)
+
+val repair_sa1 :
+  ?present:Mf_faults.Pressure.context ->
+  Mf_arch.Chip.t -> s:int -> t:int -> int -> int list option
+(** First confirmed candidate of {!candidates_sa1}, if any. *)
+
+val run : ?present:Mf_faults.Pressure.context -> Mf_arch.Chip.t -> Vectors.t -> Vectors.t
 (** [run chip suite] returns the suite extended with repair vectors.  The
     result is not guaranteed complete (genuinely untestable faults remain
     uncovered); callers re-validate with {!Vectors.validate}. *)

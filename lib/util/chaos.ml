@@ -33,28 +33,68 @@ let of_config cfg =
 
 let default_seed = 0xC4A05
 
+let env_seed () =
+  match Option.bind (Sys.getenv_opt "MFDFT_CHAOS_SEED") int_of_string_opt with
+  | Some seed -> seed
+  | None -> default_seed
+
+let vf_prefix = "valve-faults:"
+
 let from_env () =
   match Sys.getenv_opt "MFDFT_CHAOS" with
   | None -> None
   | Some s -> (
       match float_of_string_opt (String.trim s) with
-      | Some rate when rate > 0. ->
-          let seed =
-            match Option.bind (Sys.getenv_opt "MFDFT_CHAOS_SEED") int_of_string_opt with
-            | Some seed -> seed
-            | None -> default_seed
-          in
-          Some { rate; seed }
+      | Some rate when rate > 0. -> Some { rate; seed = env_seed () }
       | _ -> None)
+
+(* [MFDFT_CHAOS=valve-faults:N] selects the physical-fault mode instead of
+   a solver strike rate: N stuck-open valve sites, sampled seed-stably by
+   [valve_fault_sites]. *)
+let vf_from_env () =
+  match Sys.getenv_opt "MFDFT_CHAOS" with
+  | None -> None
+  | Some s ->
+      let s = String.trim s in
+      let n = String.length vf_prefix in
+      if String.length s > n && String.sub s 0 n = vf_prefix then
+        match int_of_string_opt (String.sub s n (String.length s - n)) with
+        | Some count when count > 0 -> Some (count, env_seed ())
+        | _ -> None
+      else None
 
 (* Initialised eagerly at program start so worker domains never race an
    env lookup.  [set] is only meant to be called while no worker domain is
    running (test setup, CLI argument handling). *)
 let state = ref (Option.map of_config (from_env ()))
+let vf_state = ref (vf_from_env ())
 
 let set cfg = state := Option.map of_config cfg
+let set_valve_faults vf = vf_state := vf
 
-let neutralise () = state := None
+let neutralise () =
+  state := None;
+  vf_state := None
+
+let valve_faults () = Option.map fst !vf_state
+
+(* Fisher–Yates over the whole site universe, then the first [count]
+   positions: stable in (seed, n_sites), and monotone in [count] — the
+   sites of [valve-faults:k] are a prefix of those of [valve-faults:k+1],
+   so escalating the fault count only ever grows the injected set. *)
+let sample_sites ~seed ~count ~n_sites =
+  if count <= 0 || n_sites <= 0 then []
+  else begin
+    let rng = Rng.create ~seed in
+    let idx = Array.init n_sites Fun.id in
+    Rng.shuffle rng idx;
+    Array.to_list (Array.sub idx 0 (min count n_sites)) |> List.sort Stdlib.compare
+  end
+
+let valve_fault_sites ~n_sites =
+  match !vf_state with
+  | None -> []
+  | Some (count, seed) -> sample_sites ~seed ~count ~n_sites
 
 let active () = Option.is_some !state
 

@@ -10,6 +10,13 @@
     [(0, 1]]; the state is read once at program start) or programmatically
     with {!set}.  [MFDFT_CHAOS_SEED] fixes the injection RNG seed.
 
+    A second, physical injection mode is selected by
+    [MFDFT_CHAOS=valve-faults:N]: instead of crippling solver stages, the
+    harness nominates [N] valve sites (seed-stable, see {!sample_sites})
+    that drivers treat as stuck-open field faults and feed into the repair
+    engine.  The two modes are mutually exclusive — the variable holds
+    either a rate or a [valve-faults:] spec.
+
     Chaos draws come from one global generator shared across domains, so
     under [jobs > 1] the injection pattern depends on scheduling: chaos runs
     deliberately break the bit-for-bit determinism contract.  Test binaries
@@ -32,8 +39,27 @@ val set : config option -> unit
     worker domain is running. *)
 
 val neutralise : unit -> unit
-(** Disable injection regardless of [MFDFT_CHAOS] — for test binaries whose
-    assertions require the deterministic, fault-free pipeline. *)
+(** Disable injection — both the strike-rate and valve-fault modes —
+    regardless of [MFDFT_CHAOS]; for test binaries whose assertions require
+    the deterministic, fault-free pipeline. *)
+
+val set_valve_faults : (int * int) option -> unit
+(** Override the valve-fault mode with [(count, seed)] ([None] disables).
+    Call only while no worker domain is running. *)
+
+val valve_faults : unit -> int option
+(** Configured valve-fault count, [None] when the mode is inactive. *)
+
+val sample_sites : seed:int -> count:int -> n_sites:int -> int list
+(** [sample_sites ~seed ~count ~n_sites] draws [min count n_sites] distinct
+    sites from [0 .. n_sites-1], sorted ascending.  Pure and seed-stable:
+    the same [(seed, n_sites)] always yields the same permutation, and the
+    sites for [count = k] are a subset of those for [count = k+1], so
+    escalating a fault count only grows the injected set. *)
+
+val valve_fault_sites : n_sites:int -> int list
+(** {!sample_sites} driven by the [valve-faults:N] state; [[]] when the
+    mode is inactive. *)
 
 val active : unit -> bool
 

@@ -7,6 +7,7 @@ type stage =
   | Pool
   | Pso
   | Codesign
+  | Repair
 
 type t = {
   stage : stage;
@@ -28,6 +29,7 @@ let stage_name = function
   | Pool -> "pool"
   | Pso -> "pso"
   | Codesign -> "codesign"
+  | Repair -> "repair"
 
 let pp ppf f =
   Format.fprintf ppf "[%s] %s" (stage_name f.stage) f.reason;

@@ -15,6 +15,7 @@ type stage =
   | Pool
   | Pso
   | Codesign
+  | Repair
 
 type t = {
   stage : stage;  (** stage that gave up *)

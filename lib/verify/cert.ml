@@ -16,13 +16,16 @@ type suite = {
 type t = {
   chip_name : string;
   suite : suite;
+  context : Fault.t list;
+  waived : Fault.t list;
   claimed_vectors : int;
   claimed_detected : int;
   claimed_total : int;
 }
 
-let make ~chip_name ~suite ~claimed_vectors ~claimed_coverage:(claimed_detected, claimed_total) =
-  { chip_name; suite; claimed_vectors; claimed_detected; claimed_total }
+let make ~chip_name ~suite ?(context = []) ?(waived = []) ~claimed_vectors
+    ~claimed_coverage:(claimed_detected, claimed_total) () =
+  { chip_name; suite; context; waived; claimed_vectors; claimed_detected; claimed_total }
 
 (* ------------------------------------------------------------------ *)
 (* Independent pressure/fault simulation: the physics of Sec. 2 restated
@@ -60,10 +63,61 @@ let reading ?fault chip ~active ~source ~meter =
   let g = Grid.graph (Chip.grid chip) in
   Traverse.connected g ~allowed:(conducts chip ?fault ~active) source meter
 
+(* The fault {e context}: defects the certificate declares physically
+   present on the chip (a repaired suite is checked on the degraded chip).
+   Re-derived here from the [fault] directives alone. *)
+type field = {
+  f_blocked : Bitset.t; (* edges with a present stuck-at-0 *)
+  f_open : Bitset.t; (* valves with a present stuck-at-1 *)
+  f_leaks : int list; (* valves with a present control-to-flow leak *)
+}
+
+let field_of chip faults =
+  let g = Grid.graph (Chip.grid chip) in
+  let blocked = Bitset.create (Graph.n_edges g) in
+  let open_ = Bitset.create (max 1 (Chip.n_valves chip)) in
+  let leaks = ref [] in
+  List.iter
+    (function
+      | Fault.Stuck_at_0 e -> Bitset.add blocked e
+      | Fault.Stuck_at_1 v -> Bitset.add open_ v
+      | Fault.Leak v -> if not (List.mem v !leaks) then leaks := v :: !leaks)
+    faults;
+  { f_blocked = blocked; f_open = open_; f_leaks = List.rev !leaks }
+
+let fconducts field chip ?fault ~active e =
+  Chip.is_channel chip e
+  && (not (Bitset.mem field.f_blocked e))
+  && (match fault with Some (Fault.Stuck_at_0 e') -> e' <> e | _ -> true)
+  &&
+  match Chip.valve_on chip e with
+  | None -> true
+  | Some v ->
+    (not (Bitset.mem active v.control))
+    || Bitset.mem field.f_open v.valve_id
+    || (match fault with Some (Fault.Stuck_at_1 w) -> w = v.valve_id | _ -> false)
+
+(* A present control-to-flow leak injects pressure at the valve seat
+   whenever its control line is pressurised, independent of the source. *)
+let freading field ?fault chip ~active ~source ~meter =
+  let g = Grid.graph (Chip.grid chip) in
+  let allowed = fconducts field chip ?fault ~active in
+  let leak_reads w =
+    let valve = (Chip.valves chip).(w) in
+    Bitset.mem active valve.control
+    &&
+    let a, b = Graph.endpoints g valve.edge in
+    Traverse.connected g ~allowed a meter || Traverse.connected g ~allowed b meter
+  in
+  Traverse.connected g ~allowed source meter
+  || List.exists leak_reads field.f_leaks
+  || (match fault with Some (Fault.Leak w) -> leak_reads w | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Checks *)
 
 let edge_str chip e = Format.asprintf "%a" (Grid.pp_edge (Chip.grid chip)) e
+let fault_str chip f = Format.asprintf "%a" (Fault.pp chip) f
 
 (* MF105: every id the certificate names must exist on the chip.  Returns
    diagnostics; deeper checks run only when this comes back clean. *)
@@ -108,12 +162,24 @@ let check_ranges chip t =
               :: !out)
         valves)
     t.suite.cut_valves;
+  let fault_ok label f =
+    let bad kind id bound =
+      out :=
+        Diag.errorf ~code:"MF105" "%s fault names %s %d outside [0, %d)" label kind id bound
+        :: !out
+    in
+    match f with
+    | Fault.Stuck_at_0 e -> if e < 0 || e >= n_edges then bad "edge" e n_edges
+    | Fault.Stuck_at_1 v | Fault.Leak v -> if v < 0 || v >= n_valves then bad "valve" v n_valves
+  in
+  List.iter (fault_ok "context") t.context;
+  List.iter (fault_ok "waived") t.waived;
   List.rev !out
 
 (* MF101: each claimed path must be a contiguous walk of conducting
    channel edges from the source port to the meter port under its own
    vector. *)
-let check_paths chip t ~source ~meter =
+let check_paths field chip t ~source ~meter =
   let g = Grid.graph (Chip.grid chip) in
   let out = ref [] in
   List.iteri
@@ -141,14 +207,19 @@ let check_paths chip t ~source ~meter =
           (fun e ->
             if not (Chip.is_channel chip e) then
               out := err "path #%d uses edge %s which carries no channel" i (edge_str chip e) :: !out
-            else if not (conducts chip ~active e) then
+            else if Bitset.mem field.f_blocked e then
+              out :=
+                err "path #%d traverses edge %s which the fault context blocks" i
+                  (edge_str chip e)
+                :: !out
+            else if not (fconducts field chip ~active e) then
               out :=
                 err "path #%d is blocked at edge %s: its valve is closed by the vector" i
                   (edge_str chip e)
                 :: !out)
           edges;
         (* the realized vector must actually propagate pressure end to end *)
-        if not (reading chip ~active ~source ~meter) then
+        if not (freading field chip ~active ~source ~meter) then
           out := err "path #%d does not connect source to meter when applied" i :: !out
       end)
     t.suite.path_edges;
@@ -156,12 +227,12 @@ let check_paths chip t ~source ~meter =
 
 (* MF102: closing a cut's valves (and whatever shares their lines) must
    disconnect source from meter. *)
-let check_cuts chip t ~source ~meter =
+let check_cuts field chip t ~source ~meter =
   let out = ref [] in
   List.iteri
     (fun i valves ->
       let active = active_lines_of_cut chip valves in
-      if reading chip ~active ~source ~meter then
+      if freading field chip ~active ~source ~meter then
         out :=
           Diag.errorf ~code:"MF102"
             ~subject:(Printf.sprintf "cut #%d" i)
@@ -170,13 +241,15 @@ let check_cuts chip t ~source ~meter =
     t.suite.cut_valves;
   List.rev !out
 
-(* Fault-free readings: paths must read pressure, cuts must not (MF104). *)
-let check_well_formed chip t ~source ~meter =
+(* Fault-free readings: paths must read pressure, cuts must not (MF104).
+   "Fault-free" here means {e under the declared context}: a repaired
+   suite must be well-formed on the degraded chip. *)
+let check_well_formed field chip t ~source ~meter =
   let out = ref [] in
   List.iteri
     (fun i edges ->
       let active = active_lines_of_path chip edges in
-      if not (reading chip ~active ~source ~meter) then
+      if not (freading field chip ~active ~source ~meter) then
         out :=
           Diag.errorf ~code:"MF104"
             ~subject:(Printf.sprintf "path #%d" i)
@@ -186,7 +259,7 @@ let check_well_formed chip t ~source ~meter =
   List.iteri
     (fun i valves ->
       let active = active_lines_of_cut chip valves in
-      if reading chip ~active ~source ~meter then
+      if freading field chip ~active ~source ~meter then
         out :=
           Diag.errorf ~code:"MF104"
             ~subject:(Printf.sprintf "cut #%d" i)
@@ -196,36 +269,50 @@ let check_well_formed chip t ~source ~meter =
   List.rev !out
 
 (* MF103: re-measure stuck-at-0/1 coverage by exhaustive single-fault
-   simulation and compare against the claim. *)
-let check_coverage chip t ~source ~meter =
+   simulation on top of the context and compare against the claim.  The
+   universe excludes the context itself (those defects are no longer
+   hypothetical); an escape is tolerated only when explicitly waived, and
+   a waived fault the suite nonetheless detects is a contradiction. *)
+let check_coverage field chip t ~source ~meter =
   let vectors =
     List.map (fun edges -> active_lines_of_path chip edges) t.suite.path_edges
     @ List.map (fun valves -> active_lines_of_cut chip valves) t.suite.cut_valves
   in
-  let fault_free = List.map (fun active -> reading chip ~active ~source ~meter) vectors in
+  let fault_free = List.map (fun active -> freading field chip ~active ~source ~meter) vectors in
+  let in_context f = List.exists (Fault.equal f) t.context in
+  let is_waived f = List.exists (Fault.equal f) t.waived in
   let universe =
-    List.filter (function Fault.Leak _ -> false | _ -> true) (Fault.all chip)
+    List.filter
+      (fun f -> (match f with Fault.Leak _ -> false | _ -> true) && not (in_context f))
+      (Fault.all chip)
   in
-  let detected, escaped =
+  let detected, escaped, contradicted =
     List.fold_left
-      (fun (d, esc) fault ->
+      (fun (d, esc, bad) fault ->
         let caught =
           List.exists2
-            (fun active clean -> reading chip ~fault ~active ~source ~meter <> clean)
+            (fun active clean -> freading field ~fault chip ~active ~source ~meter <> clean)
             vectors fault_free
         in
-        if caught then (d + 1, esc) else (d, fault :: esc))
-      (0, []) universe
+        if caught then (d + 1, esc, if is_waived fault then fault :: bad else bad)
+        else (d, fault :: esc, bad))
+      (0, [], []) universe
   in
   let out = ref [] in
   let total = List.length universe in
   List.iter
     (fun fault ->
-      out :=
-        Diag.errorf ~code:"MF103" "fault %s escapes the suite"
-          (Format.asprintf "%a" (Fault.pp chip) fault)
-        :: !out)
+      if not (is_waived fault) then
+        out :=
+          Diag.errorf ~code:"MF103" "fault %s escapes the suite" (fault_str chip fault) :: !out)
     (List.rev escaped);
+  List.iter
+    (fun fault ->
+      out :=
+        Diag.errorf ~code:"MF103" "fault %s is waived as untestable yet the suite detects it"
+          (fault_str chip fault)
+        :: !out)
+    (List.rev contradicted);
   if detected <> t.claimed_detected || total <> t.claimed_total then
     out :=
       Diag.errorf ~code:"MF103"
@@ -240,6 +327,92 @@ let check_coverage chip t ~source ~meter =
       :: !out;
   List.rev !out
 
+(* MF106: every waiver must be {e proved} untestable by structural
+   analysis — a lazy generator cannot simply waive the faults it failed to
+   cover.  Sound (sufficient) criteria only, over two conduction graphs:
+
+   - M ("maximal"): edges that can conduct under {e some} vector —
+     channel, not blocked by the context;
+   - U ("unavoidable"): edges that conduct under {e every} vector —
+     M-edges that are unvalved or whose valve is stuck open.
+
+   Pressure origins are the source plus the seats of context leaks (a
+   pressurised leaking valve injects at its seat).  A fault that can never
+   change origin→meter connectivity is untestable. *)
+let check_waivers field chip t ~source ~meter =
+  if t.waived = [] then []
+  else begin
+    let g = Grid.graph (Chip.grid chip) in
+    let valves = Chip.valves chip in
+    let m_allowed e = Chip.is_channel chip e && not (Bitset.mem field.f_blocked e) in
+    let u_allowed e =
+      m_allowed e
+      &&
+      match Chip.valve_on chip e with
+      | None -> true
+      | Some v -> Bitset.mem field.f_open v.valve_id
+    in
+    let origins =
+      source
+      :: List.concat_map
+           (fun w ->
+             let a, b = Graph.endpoints g valves.(w).edge in
+             [ a; b ])
+           field.f_leaks
+    in
+    let to_meter = Traverse.reachable g ~allowed:m_allowed ~src:meter in
+    let always_connected = Traverse.connected g ~allowed:u_allowed source meter in
+    (* Every vector's conducting graph sits between the always-conducting
+       subgraph and M, so observability of an edge is decided exactly by
+       the contracted-graph bridge search: [No_route] soundly certifies
+       that no vector can observe it.  The audit runs the same
+       deterministic search as the producer, so a waiver the producer
+       could prove is exactly one the audit accepts. *)
+    let routable e =
+      match
+        Mf_graph.Disjoint.route_through g ~allowed:m_allowed ~contract:u_allowed ~origins
+          ~target:meter ~via:e ~cap:Mf_graph.Disjoint.default_cap
+      with
+      | Mf_graph.Disjoint.No_route -> false
+      | Mf_graph.Disjoint.Route _ | Mf_graph.Disjoint.Capped -> true
+    in
+    let untestable = function
+      | Fault.Stuck_at_0 e ->
+        (not (Chip.is_channel chip e))
+        || Bitset.mem field.f_blocked e
+        || not (routable e)
+      | Fault.Stuck_at_1 w ->
+        let v = valves.(w) in
+        Bitset.mem field.f_open w
+        (* a context leak at [w] pressurises both seats whenever the line
+           is active, so the valve's sealing can never reach the meter *)
+        || List.mem w field.f_leaks
+        || Bitset.mem field.f_blocked v.edge
+        || not (routable v.edge)
+      | Fault.Leak w ->
+        let v = valves.(w) in
+        Bitset.mem field.f_blocked v.edge || always_connected
+        ||
+        let a, b = Graph.endpoints g v.edge in
+        not (Bitset.mem to_meter a || Bitset.mem to_meter b)
+    in
+    let out = ref [] in
+    List.iter
+      (fun f ->
+        if List.exists (Fault.equal f) t.context then
+          out :=
+            Diag.errorf ~code:"MF106" "waived fault %s is already declared in the fault context"
+              (fault_str chip f)
+            :: !out
+        else if not (untestable f) then
+          out :=
+            Diag.errorf ~code:"MF106"
+              "waiver for fault %s is not supported by structural analysis" (fault_str chip f)
+            :: !out)
+      t.waived;
+    List.rev !out
+  end
+
 let check chip t =
   match check_ranges chip t with
   | ranged when Diag.has_errors ranged -> ranged
@@ -247,13 +420,22 @@ let check chip t =
     let ports = Chip.ports chip in
     let source = ports.(t.suite.source_port).node in
     let meter = ports.(t.suite.meter_port).node in
+    let field = field_of chip t.context in
     Diag.by_severity
-      (ranged @ check_paths chip t ~source ~meter @ check_cuts chip t ~source ~meter
-      @ check_well_formed chip t ~source ~meter
-      @ check_coverage chip t ~source ~meter)
+      (ranged
+      @ check_paths field chip t ~source ~meter
+      @ check_cuts field chip t ~source ~meter
+      @ check_well_formed field chip t ~source ~meter
+      @ check_coverage field chip t ~source ~meter
+      @ check_waivers field chip t ~source ~meter)
 
 (* ------------------------------------------------------------------ *)
 (* Serialisation *)
+
+let fault_words = function
+  | Fault.Stuck_at_0 e -> Printf.sprintf "sa0 %d" e
+  | Fault.Stuck_at_1 v -> Printf.sprintf "sa1 %d" v
+  | Fault.Leak v -> Printf.sprintf "leak %d" v
 
 let to_string t =
   let buf = Buffer.create 512 in
@@ -270,6 +452,12 @@ let to_string t =
     (fun valves ->
       Buffer.add_string buf ("cut " ^ String.concat " " (List.map string_of_int valves) ^ "\n"))
     t.suite.cut_valves;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "fault %s\n" (fault_words f)))
+    t.context;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "waive %s\n" (fault_words f)))
+    t.waived;
   Buffer.add_string buf (Printf.sprintf "claim vectors %d\n" t.claimed_vectors);
   Buffer.add_string buf
     (Printf.sprintf "claim coverage %d %d\n" t.claimed_detected t.claimed_total);
@@ -283,6 +471,8 @@ let parse ?file text =
   let header = ref None in
   let paths = ref [] in
   let cuts = ref [] in
+  let context = ref [] in
+  let waived = ref [] in
   let claim_vectors = ref None in
   let claim_coverage = ref None in
   let err lineno fmt =
@@ -296,6 +486,16 @@ let parse ?file text =
       err lineno "%s expects integer ids" label
     else
       k (List.map Option.get parsed)
+  in
+  let fault_of lineno directive kind id k =
+    ints lineno directive [ id ] (function
+      | [ id ] -> (
+          match kind with
+          | "sa0" -> k (Fault.Stuck_at_0 id)
+          | "sa1" -> k (Fault.Stuck_at_1 id)
+          | "leak" -> k (Fault.Leak id)
+          | _ -> err lineno "usage: %s sa0|sa1|leak ID" directive)
+      | _ -> err lineno "usage: %s sa0|sa1|leak ID" directive)
   in
   let rec process lineno = function
     | [] ->
@@ -317,6 +517,8 @@ let parse ?file text =
            {
              chip_name;
              suite;
+             context = List.rev !context;
+             waived = List.rev !waived;
              claimed_vectors = Option.value !claim_vectors ~default:n_vectors;
              claimed_detected = (match !claim_coverage with Some (d, _) -> d | None -> 0);
              claimed_total = (match !claim_coverage with Some (_, t) -> t | None -> 0);
@@ -357,6 +559,16 @@ let parse ?file text =
               cuts := valves :: !cuts;
               process (lineno + 1) rest)
         | "cut" :: _ -> err lineno "cut needs at least one valve id"
+        | [ "fault"; kind; id ] ->
+          fault_of lineno "fault" kind id (fun f ->
+              context := f :: !context;
+              process (lineno + 1) rest)
+        | "fault" :: _ -> err lineno "usage: fault sa0|sa1|leak ID"
+        | [ "waive"; kind; id ] ->
+          fault_of lineno "waive" kind id (fun f ->
+              waived := f :: !waived;
+              process (lineno + 1) rest)
+        | "waive" :: _ -> err lineno "usage: waive sa0|sa1|leak ID"
         | [ "claim"; "vectors"; n ] ->
           ints lineno "claim vectors" [ n ] (function
             | [ n ] ->

@@ -1,25 +1,37 @@
-(** DFT test certificates: the artifact a codesign/testgen run {e claims}
-    (its suite and coverage), re-proved here without the solver stack.
+(** DFT test certificates: the artifact a codesign/testgen/repair run
+    {e claims} (its suite, fault context and coverage), re-proved here
+    without the solver stack.
 
     The checker is deliberately independent of [Mf_ilp]/[Mf_lp]/[Mf_pso]
     and of the generation-side fault simulator: paths and cuts are
     re-proved with plain graph reachability ({!Mf_graph.Traverse}), and
     coverage is re-measured by a self-contained single-fault simulation
     over the {!Mf_faults.Fault} universe.  A bug in the ILP path generator,
-    the cut generator, the sharing validator or the degradation ladder
-    therefore cannot vouch for itself.
+    the cut generator, the sharing validator, the degradation ladder or the
+    repair engine therefore cannot vouch for itself.
+
+    A certificate may carry a fault {e context} — defects declared
+    physically present, as produced by the fault-adaptive repair engine —
+    in which case every claim is re-proved on the degraded chip and the
+    coverage universe excludes the context.  Escapes are tolerated only
+    when individually {e waived}, and each waiver must survive an
+    independent structural-untestability audit ([MF106]).
 
     Codes (catalog in DESIGN.md §9):
     - [MF101] (error) a claimed test path is not an open source→meter path
-      under its own vector;
+      under its own vector (on the degraded chip, given a context);
     - [MF102] (error) a claimed test cut fails to disconnect source from
       meter when its valves close;
     - [MF103] (error) the suite's stuck-at-0/1 coverage does not match the
-      claim, or a fault escapes the suite;
+      claim, an unwaived fault escapes the suite, or a waived fault is in
+      fact detected;
     - [MF104] (error) a vector is malformed: its fault-free reading
       contradicts its expectation;
     - [MF105] (error) the certificate references ids outside the chip
-      (ports, edges, valves); (warning) certificate/chip name mismatch. *)
+      (ports, edges, valves, faults); (warning) certificate/chip name
+      mismatch;
+    - [MF106] (error) a waiver is not supported by the checker's own sound
+      structural-untestability analysis. *)
 
 type suite = {
   source_port : int;
@@ -33,6 +45,13 @@ type suite = {
 type t = {
   chip_name : string;
   suite : suite;
+  context : Mf_faults.Fault.t list;
+      (** defects declared physically present; claims are re-proved on the
+          chip degraded by them, and they are excluded from the coverage
+          universe *)
+  waived : Mf_faults.Fault.t list;
+      (** faults the issuer declares untestable in this context; each must
+          pass the [MF106] structural audit *)
   claimed_vectors : int;
   claimed_detected : int;  (** stuck-at-0/1 faults the generator claims caught *)
   claimed_total : int;  (** size of the stuck-at-0/1 universe it claims *)
@@ -41,20 +60,27 @@ type t = {
 val make :
   chip_name:string ->
   suite:suite ->
+  ?context:Mf_faults.Fault.t list ->
+  ?waived:Mf_faults.Fault.t list ->
   claimed_vectors:int ->
   claimed_coverage:int * int ->
+  unit ->
   t
+(** [context] and [waived] default to [[]], giving exactly the classic
+    fault-free certificate. *)
 
 (** {1 Checking} *)
 
 val check : Mf_arch.Chip.t -> t -> Mf_util.Diag.t list
-(** Re-prove every claim against the chip.  Empty result = certificate
-    holds.  Id-range errors ([MF105]) suppress the deeper checks that
-    would index out of bounds. *)
+(** Re-prove every claim against the chip (degraded by the context when
+    one is declared).  Empty result = certificate holds.  Id-range errors
+    ([MF105]) suppress the deeper checks that would index out of bounds. *)
 
 (** {1 Independent fault simulation}
 
-    Exposed for the conflict analysis and tests. *)
+    Exposed for the conflict analysis and tests.  These are the
+    context-free primitives; {!check} layers the declared context on top
+    internally. *)
 
 val active_lines_of_path : Mf_arch.Chip.t -> int list -> Mf_util.Bitset.t
 (** Control lines a path vector pressurises: every line except those of
@@ -80,11 +106,15 @@ val reading :
     suite SRC_PORT METER_PORT
     path E1 E2 ...          # one line per test path, edge ids
     cut V1 V2 ...           # one line per test cut, valve ids
+    fault sa0|sa1|leak ID   # one line per context fault (edge/valve id)
+    waive sa0|sa1|leak ID   # one line per waived fault
     claim vectors N
     claim coverage DETECTED TOTAL
     v}
     Edge and valve ids are the chip's own (stable across a [.chip]
-    round-trip for a given grid size and directive order). *)
+    round-trip for a given grid size and directive order).  [fault] and
+    [waive] lines are absent from classic fault-free certificates, keeping
+    the format backward compatible. *)
 
 val to_string : t -> string
 val save : string -> t -> unit

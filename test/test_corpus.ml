@@ -25,6 +25,9 @@ module Cert = Mf_verify.Cert
 module Pool = Mfdft.Pool
 module Domain_pool = Mf_util.Domain_pool
 module Rng = Mf_util.Rng
+module Reconfig = Mf_repair.Reconfig
+module Fault = Mf_faults.Fault
+module Chaos = Mf_util.Chaos
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -40,6 +43,7 @@ let recert_count = max 4 (lint_count / 25)
 let sched_count = max 8 (lint_count / 12)
 let greedy_count = max 4 (lint_count / 25)
 let pool_count = max 2 (lint_count / 50)
+let repair_count = max 4 (lint_count / 25)
 
 (* Deterministic case derivation: QCheck supplies a small case index; the
    chip/assay pair is a pure function of (family, MFDFT_CORPUS_SEED, index),
@@ -112,6 +116,7 @@ let cert_of aug (suite : Vectors.t) =
       }
     ~claimed_vectors:(Vectors.count suite)
     ~claimed_coverage:(report.Coverage.detected, report.Coverage.total_faults)
+    ()
 
 let recertifies f index =
   let chip, _ = case f index in
@@ -177,6 +182,49 @@ let pool_parallel_invariant f index =
   pool_fingerprint f index 1 = pool_fingerprint f index 4
 
 (* ------------------------------------------------------------------ *)
+(* P7: fault-adaptive repair differential — inject k seed-stable stuck-open
+   valve faults into a deployed Pool suite, repair incrementally, and the
+   result must re-certify through the independent verifier with every
+   escape audited-waived as provably untestable.  Repair may legitimately
+   fail typed on pathological pairs (e.g. a fault context that strands the
+   meter); a typed Error is discarded, a silently-bad Ok never is. *)
+
+let repair_recertifies f index =
+  let chip, _ = case f index in
+  let rng = Rng.create ~seed:(case_seed (family_salt f) index + 53) in
+  match Pool.build ~size:3 ~node_limit:400 ~rng chip with
+  | Error _ -> QCheck.assume_fail ()
+  | Ok pool -> (
+    let e = (Pool.entries pool).(0) in
+    let aug = e.Pool.augmented in
+    let k = 1 + (index mod 2) in
+    let faults =
+      List.map
+        (fun v -> Fault.Stuck_at_1 v)
+        (Chaos.sample_sites
+           ~seed:(case_seed (family_salt f) index)
+           ~count:k ~n_sites:(Chip.n_valves aug))
+    in
+    if faults = [] then QCheck.assume_fail ()
+    else
+      match Reconfig.repair aug e.Pool.suite faults with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r ->
+        let n_err, _ = Mf_util.Diag.count r.Reconfig.diags in
+        if n_err > 0 then
+          QCheck.Test.fail_reportf "%s: %d re-certification error(s) after repair"
+            (Chip.name chip) n_err
+        else if
+          r.Reconfig.coverage.Coverage.detected + List.length r.Reconfig.untestable
+          <> r.Reconfig.coverage.Coverage.total_faults
+        then
+          QCheck.Test.fail_reportf "%s: unwaived escapes (%d detected + %d waived <> %d)"
+            (Chip.name chip) r.Reconfig.coverage.Coverage.detected
+            (List.length r.Reconfig.untestable)
+            r.Reconfig.coverage.Coverage.total_faults
+        else true)
+
+(* ------------------------------------------------------------------ *)
 
 let family_suite f =
   let n = f.Families.name in
@@ -188,6 +236,7 @@ let family_suite f =
       prop ~name:(n ^ " run = run_reference") ~count:sched_count f sched_differential;
       prop ~name:(n ^ " ilp >= greedy coverage") ~count:greedy_count f ilp_beats_greedy;
       prop ~name:(n ^ " pool jobs=1 = jobs=4") ~count:pool_count f pool_parallel_invariant;
+      prop ~name:(n ^ " repair re-certifies") ~count:repair_count f repair_recertifies;
     ] )
 
 let () =

@@ -278,6 +278,20 @@ let test_checkpoint_corrupt_file () =
         check Alcotest.string "typed codesign failure" "codesign"
           (Fail.stage_name f.Fail.stage))
 
+let test_checkpoint_missing_file () =
+  let chip = Option.get (Benchmarks.by_name "ivd_chip") in
+  let app = Assays.ivd () in
+  let path = Filename.temp_file "mfdft_ckpt" ".bin" in
+  Sys.remove path;
+  match
+    Codesign.run ~params:(tiny_params ~seed:42)
+      ~checkpoint:{ Codesign.path; every = 0; resume = true; stop_after = None }
+      chip app
+  with
+  | Ok _ -> Alcotest.fail "resume from a missing checkpoint must be refused, not restarted"
+  | Error f ->
+    check Alcotest.string "typed codesign failure" "codesign" (Fail.stage_name f.Fail.stage)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -312,5 +326,6 @@ let () =
           Alcotest.test_case "mismatched seed refused" `Slow
             test_checkpoint_rejects_mismatched_seed;
           Alcotest.test_case "corrupt file refused" `Quick test_checkpoint_corrupt_file;
+          Alcotest.test_case "missing file refused" `Quick test_checkpoint_missing_file;
         ] );
     ]

@@ -178,6 +178,7 @@ let cert_of aug (suite : Vectors.t) =
     ~claimed_vectors:(Vectors.count suite)
     ~claimed_coverage:
       (report.Mf_faults.Coverage.detected, report.Mf_faults.Coverage.total_faults)
+    ()
 
 let test_generated_suites_verify () =
   List.iter
