@@ -12,7 +12,18 @@
     bounded per-solve cache keyed by fixing set recalls relaxations
     re-visited after cut installation.  Neither mechanism changes any
     result — only the work done — and both can be disabled with
-    [~warm:false] for differential testing. *)
+    [~warm:false] for differential testing.
+
+    {b Parallelism.}  The search is batch-synchronous: each round pops up
+    to a fixed number of open nodes (a function of the heap state only,
+    never of the job count), solves their LP relaxations concurrently on a
+    {!Mf_util.Domain_pool}, then reduces the results sequentially in batch
+    order on the coordinating domain — incumbent updates, branching, cache
+    and statistics, lazy-cut installation all happen there.  The open-node
+    heap orders ties by a stable insertion sequence, so the pop order is a
+    pure function of the search trajectory.  Consequence: for a given
+    model, [solve] returns bit-identical [outcome]/[solution]/{!run_stats}
+    for any job count, including [?pool = None]. *)
 
 type t
 type var = Mf_lp.Lp.var
@@ -32,9 +43,11 @@ type outcome =
   | Node_limit  (** budget exhausted with no incumbent *)
   | Failed of Mf_util.Fail.t
       (** the search cannot continue and the result is not a resource
-          outcome — today only an unbounded LP relaxation, which indicates
-          a defective model.  Typed so callers degrade per the resilience
-          ladder instead of crashing. *)
+          outcome — an unbounded LP relaxation (defective model), or a
+          relaxation worker that died (e.g. under [MFDFT_CHAOS=ilp-worker]).
+          The batch in flight is always drained before this is reported, so
+          the pool stays reusable.  Typed so callers degrade per the
+          resilience ladder instead of crashing. *)
 
 val create : unit -> t
 
@@ -50,7 +63,9 @@ val add_row : t -> (float * var) list -> relation -> float -> unit
 type lazy_cut = (float * var) list * relation * float
 
 (** Process-wide branch-and-bound telemetry (see {!Mf_lp.Simplex.Stats}):
-    cumulative atomic counters, deterministic totals for any job count. *)
+    cumulative atomic counters.  Every counter is bumped from the
+    coordinating domain only, so totals are deterministic for any job
+    count. *)
 module Stats : sig
   val nodes : int Atomic.t
 
@@ -64,20 +79,30 @@ module Stats : sig
   val cache_hits : int Atomic.t
   (** Relaxations answered from the fixing-set cache without an LP solve. *)
 
+  val cover_cuts : int Atomic.t
+  (** Knapsack cover cuts installed at root separation. *)
+
+  val presolve_fixed : int Atomic.t
+  (** Variables fixed by presolve bound propagation. *)
+
   val reset : unit -> unit
 end
 
 type run_stats = {
   rs_nodes : int;  (** nodes expanded (cache-served nodes included) *)
+  rs_batches : int;  (** parallel rounds executed (1..16 nodes each) *)
   rs_warm_eligible : int;
   rs_warm_taken : int;
   rs_fallbacks : int;  (** warm attempts that fell back to a cold solve *)
   rs_cache_hits : int;
   rs_primal_pivots : int;
   rs_dual_pivots : int;
+  rs_presolve_fixed : int;  (** variables fixed by presolve *)
+  rs_presolve_tightened : int;  (** presolve bound tightenings + coefficient reductions *)
+  rs_cover_cuts : int;  (** root cover cuts installed *)
 }
 (** Effort accounting for a single {!solve} call — what {!Stats} counts
-    process-wide. *)
+    process-wide.  Identical for any job count. *)
 
 val zero_stats : run_stats
 
@@ -98,14 +123,19 @@ val solve :
   ?branch_priority:(var -> int) ->
   ?upper_bound:float ->
   ?warm:bool ->
+  ?presolve:bool ->
+  ?cuts:bool ->
+  ?pool:Mf_util.Domain_pool.t ->
   t ->
   outcome
-(** Best-first branch-and-bound.  Whenever an integral candidate is found,
-    [lazy_cuts] may return violated constraints; a non-empty return rejects
-    the candidate, installs the cuts globally, and continues the search
-    (the candidate's subtree is re-explored under the new cuts).
+(** Batched best-first branch-and-bound.  Whenever an integral candidate is
+    found, [lazy_cuts] may return violated constraints; a non-empty return
+    rejects the candidate, installs the cuts globally, and continues the
+    search (the candidate's subtree is re-explored under the new cuts; the
+    rest of the batch in flight is re-queued under the unchanged priority
+    law, which keeps the trajectory jobs-invariant).
     [node_limit] defaults to 100_000 LP relaxation solves; [budget] adds a
-    wall-clock deadline polled once per node and threaded into each
+    wall-clock deadline polled once per batch and threaded into each
     relaxation solve — on exhaustion the best incumbent so far is returned
     as [Feasible] (or [Node_limit] when none exists).  Never raises on
     resource exhaustion.
@@ -118,4 +148,15 @@ val solve :
     fall back to that solution when the outcome is [Infeasible].
     [warm] (default true) enables warm-started relaxations and the
     fixing-set cache; [~warm:false] forces every relaxation to solve cold —
-    results are identical either way. *)
+    results are identical either way.
+    [presolve] (default true) runs {!Mf_lp.Lp.presolve} once before the
+    search: bound tightening with integral rounding plus 0-1 coefficient
+    reduction, in place, rows never deleted.  It changes effort, not
+    results.
+    [cuts] (default true) separates 0-1 knapsack cover cuts at the root
+    over a few rounds.  Cover cuts are derived only from rows present at
+    entry, hence globally valid under any branching: they change effort,
+    never results.
+    [pool] shares its domains across the batch relaxation solves; omitted
+    (or with 1 job) everything runs inline on the caller.  Results,
+    including {!run_stats}, are bit-identical for any pool size. *)

@@ -36,6 +36,9 @@ val generate :
   ?node_limit:int ->
   ?budget:Mf_util.Budget.t ->
   ?warm:bool ->
+  ?presolve:bool ->
+  ?cuts:bool ->
+  ?pool:Mf_util.Domain_pool.t ->
   Mf_arch.Chip.t ->
   (config, Mf_util.Fail.t) result
 (** Solve the DFT path formulation, growing the path count from 2 until
@@ -51,9 +54,11 @@ val generate :
     ({!Mf_ilp.Ilp.outcome.Failed}) degrades the same way.  [Error] only
     when even the heuristic cannot cover the chip within [max_paths] paths.
 
-    [warm] (default true) is passed through to {!Mf_ilp.Ilp.solve}:
-    [~warm:false] disables warm-started relaxations and the fixing-set
-    cache for differential testing; results are identical. *)
+    [warm] (default true), [presolve] and [cuts] (both default true in the
+    solver) are passed through to {!Mf_ilp.Ilp.solve} — each changes effort,
+    not results.  [pool] parallelises each branch-and-bound's relaxation
+    batches across its domains; results, including the [solver] stats in
+    the returned configuration, are bit-identical for any pool size. *)
 
 val apply : Mf_arch.Chip.t -> config -> Mf_arch.Chip.t
 (** Augment the chip with the configuration's added edges. *)

@@ -1,31 +1,35 @@
-type site = Simplex_iters | Ilp_nodes | Worker_delay
+type site = Simplex_iters | Ilp_nodes | Worker_delay | Ilp_worker
 
-let n_sites = 3
+let n_sites = 4
 
 let site_index = function
   | Simplex_iters -> 0
   | Ilp_nodes -> 1
   | Worker_delay -> 2
+  | Ilp_worker -> 3
 
 let site_name = function
   | Simplex_iters -> "simplex-iters"
   | Ilp_nodes -> "ilp-nodes"
   | Worker_delay -> "worker-delay"
+  | Ilp_worker -> "ilp-worker"
 
-let all_sites = [ Simplex_iters; Ilp_nodes; Worker_delay ]
+let all_sites = [ Simplex_iters; Ilp_nodes; Worker_delay; Ilp_worker ]
 
 type config = { rate : float; seed : int }
 
 type state = {
   cfg : config;
+  only : site option; (* restrict strikes to one site; [None] = all sites *)
   rng : Rng.t;
   lock : Mutex.t;
   counts : int array; (* strikes recorded per site, indexed by [site_index] *)
 }
 
-let of_config cfg =
+let of_config ?only cfg =
   {
     cfg = { cfg with rate = Float.min 1. (Float.max 0. cfg.rate) };
+    only;
     rng = Rng.create ~seed:cfg.seed;
     lock = Mutex.create ();
     counts = Array.make n_sites 0;
@@ -40,13 +44,30 @@ let env_seed () =
 
 let vf_prefix = "valve-faults:"
 
+(* [MFDFT_CHAOS=<rate>] strikes at every site; [MFDFT_CHAOS=<site>:<rate>]
+   (e.g. [ilp-worker:0.3]) restricts strikes to that one site so a single
+   degradation path can be exercised in isolation. *)
 let from_env () =
   match Sys.getenv_opt "MFDFT_CHAOS" with
   | None -> None
   | Some s -> (
-      match float_of_string_opt (String.trim s) with
-      | Some rate when rate > 0. -> Some { rate; seed = env_seed () }
-      | _ -> None)
+      let s = String.trim s in
+      match float_of_string_opt s with
+      | Some rate when rate > 0. -> Some (None, { rate; seed = env_seed () })
+      | Some _ -> None
+      | None -> (
+          match String.index_opt s ':' with
+          | None -> None
+          | Some i -> (
+              let name = String.sub s 0 i in
+              let rest = String.sub s (i + 1) (String.length s - i - 1) in
+              match
+                ( List.find_opt (fun site -> site_name site = name) all_sites,
+                  float_of_string_opt rest )
+              with
+              | Some site, Some rate when rate > 0. ->
+                  Some (Some site, { rate; seed = env_seed () })
+              | _ -> None)))
 
 (* [MFDFT_CHAOS=valve-faults:N] selects the physical-fault mode instead of
    a solver strike rate: N stuck-open valve sites, sampled seed-stably by
@@ -66,10 +87,10 @@ let vf_from_env () =
 (* Initialised eagerly at program start so worker domains never race an
    env lookup.  [set] is only meant to be called while no worker domain is
    running (test setup, CLI argument handling). *)
-let state = ref (Option.map of_config (from_env ()))
+let state = ref (Option.map (fun (only, cfg) -> of_config ?only cfg) (from_env ()))
 let vf_state = ref (vf_from_env ())
 
-let set cfg = state := Option.map of_config cfg
+let set ?only cfg = state := Option.map (of_config ?only) cfg
 let set_valve_faults vf = vf_state := vf
 
 let neutralise () =
@@ -103,6 +124,7 @@ let rate () = match !state with None -> 0. | Some st -> st.cfg.rate
 let strike site =
   match !state with
   | None -> false
+  | Some st when st.only <> None && st.only <> Some site -> false
   | Some st ->
       Mutex.lock st.lock;
       let hit = Rng.uniform st.rng < st.cfg.rate in

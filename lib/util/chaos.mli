@@ -8,7 +8,10 @@
 
     Enable by exporting [MFDFT_CHAOS=<rate>] (a fault probability in
     [(0, 1]]; the state is read once at program start) or programmatically
-    with {!set}.  [MFDFT_CHAOS_SEED] fixes the injection RNG seed.
+    with {!set}.  [MFDFT_CHAOS=<site>:<rate>] (e.g. [ilp-worker:0.3])
+    restricts strikes to one named site, so a single degradation path can
+    be driven in isolation.  [MFDFT_CHAOS_SEED] fixes the injection RNG
+    seed.
 
     A second, physical injection mode is selected by
     [MFDFT_CHAOS=valve-faults:N]: instead of crippling solver stages, the
@@ -28,15 +31,19 @@ type site =
   | Simplex_iters  (** clamp the simplex pivot budget to force [Iter_limit] *)
   | Ilp_nodes  (** truncate the branch-and-bound node budget *)
   | Worker_delay  (** sleep briefly inside a worker-domain task *)
+  | Ilp_worker
+      (** fail a branch-and-bound relaxation task inside a worker domain,
+          proving the parallel search drains its pool cleanly and surfaces
+          one typed outcome *)
 
 type config = { rate : float; seed : int }
 
 val default_seed : int
 (** Seed used when [MFDFT_CHAOS_SEED] is not set. *)
 
-val set : config option -> unit
-(** Override the harness state ([None] disables).  Call only while no
-    worker domain is running. *)
+val set : ?only:site -> config option -> unit
+(** Override the harness state ([None] disables); [~only] restricts strikes
+    to a single site.  Call only while no worker domain is running. *)
 
 val neutralise : unit -> unit
 (** Disable injection — both the strike-rate and valve-fault modes —

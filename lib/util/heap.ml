@@ -1,4 +1,4 @@
-type 'a entry = { prio : float; value : 'a }
+type 'a entry = { prio : float; seq : int; value : 'a }
 
 type 'a t = { mutable data : 'a entry array; mutable size : int }
 
@@ -6,6 +6,11 @@ let create () = { data = [||]; size = 0 }
 
 let is_empty h = h.size = 0
 let size h = h.size
+
+(* Lexicographic (prio, seq): entries pushed without a sequence key all
+   carry [seq = 0], so ties between them never swap — exactly the
+   behaviour of the float-only heap this generalises. *)
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
 let grow h entry =
   let capacity = Array.length h.data in
@@ -18,7 +23,7 @@ let grow h entry =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.data.(i).prio < h.data.(parent).prio then begin
+    if less h.data.(i) h.data.(parent) then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -26,18 +31,20 @@ let rec sift_up h i =
     end
   end
 
-let push h prio value =
-  let entry = { prio; value } in
+let push_seq h prio seq value =
+  let entry = { prio; seq; value } in
   grow h entry;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
+let push h prio value = push_seq h prio 0 value
+
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
-  if r < h.size && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+  if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
     h.data.(i) <- h.data.(!smallest);
@@ -45,7 +52,7 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let pop h =
+let pop_seq h =
   if h.size = 0 then None
   else begin
     let top = h.data.(0) in
@@ -54,8 +61,10 @@ let pop h =
       h.data.(0) <- h.data.(h.size);
       sift_down h 0
     end;
-    Some (top.prio, top.value)
+    Some (top.prio, top.seq, top.value)
   end
+
+let pop h = Option.map (fun (p, _, v) -> (p, v)) (pop_seq h)
 
 let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
 

@@ -1,5 +1,7 @@
 module Ilp = Mf_ilp.Ilp
 module Rng = Mf_util.Rng
+module Budget = Mf_util.Budget
+module Domain_pool = Mf_util.Domain_pool
 
 let check = Alcotest.check
 let feps = Alcotest.float 1e-6
@@ -149,6 +151,162 @@ let random_cover_prop =
       | Ilp.Infeasible -> !best = max_int
       | Ilp.Feasible _ | Ilp.Node_limit | Ilp.Failed _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel differential: the batched search must return bit-identical
+   outcome, solution and run_stats for any job count.  Random boxed 0-1
+   models with no-good lazy cuts exercise the trickiest interleaving (cut
+   installation while a batch is in flight). *)
+
+let random_model rng =
+  let ilp = Ilp.create () in
+  let n = 5 + Rng.int rng 6 in
+  let vars =
+    Array.init n (fun _ -> Ilp.add_binary ~obj:(float_of_int (Rng.int rng 11 - 5)) ilp)
+  in
+  let n_rows = 2 + Rng.int rng n in
+  for _ = 1 to n_rows do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Rng.bool rng then
+               Some
+                 ( float_of_int (1 + Rng.int rng 3) *. (if Rng.bool rng then 1. else -1.),
+                   v )
+             else None)
+    in
+    let rel = if Rng.bool rng then Ilp.Le else Ilp.Ge in
+    let rhs = float_of_int (Rng.int rng 5 - 1) in
+    if terms <> [] then Ilp.add_row ilp terms rel rhs
+  done;
+  (ilp, vars)
+
+(* reject the first [max_fired] integral candidates outright with a no-good
+   cut — a worst-case lazy callback that forces re-queues mid-batch *)
+let no_good_cuts vars fired max_fired (s : Ilp.solution) =
+  if !fired >= max_fired then []
+  else begin
+    incr fired;
+    let ones = Array.to_list vars |> List.filter (fun v -> s.Ilp.values.(v) > 0.5) in
+    let terms =
+      Array.to_list vars
+      |> List.map (fun v -> ((if s.Ilp.values.(v) > 0.5 then -1. else 1.), v))
+    in
+    [ (terms, Ilp.Ge, 1. -. float_of_int (List.length ones)) ]
+  end
+
+type outcome_fp =
+  | Fp_optimal of float * float list
+  | Fp_feasible of float * float list
+  | Fp_infeasible
+  | Fp_node_limit
+  | Fp_failed of string
+
+let fp outcome =
+  match (outcome : Ilp.outcome) with
+  | Ilp.Optimal s -> Fp_optimal (s.Ilp.objective, Array.to_list s.Ilp.values)
+  | Ilp.Feasible s -> Fp_feasible (s.Ilp.objective, Array.to_list s.Ilp.values)
+  | Ilp.Infeasible -> Fp_infeasible
+  | Ilp.Node_limit -> Fp_node_limit
+  | Ilp.Failed f -> Fp_failed (Mf_util.Fail.stage_name f.Mf_util.Fail.stage)
+
+(* solve a fresh instance of the model (solves mutate the builder with
+   installed cuts, so each run rebuilds from the seed) *)
+let run_once ?(max_fired = 2) ~seed ~pool ~cancel_after ?presolve ?cuts () =
+  let rng = Rng.create ~seed in
+  let ilp, vars = random_model rng in
+  let fired = ref 0 in
+  let budget = Budget.unlimited () in
+  let lazy_cuts s =
+    let cs = no_good_cuts vars fired max_fired s in
+    (match cancel_after with
+     | Some k when !fired >= k -> Budget.cancel budget
+     | Some _ | None -> ());
+    cs
+  in
+  let outcome =
+    Ilp.solve ~node_limit:2_000 ~budget ~lazy_cuts ?presolve ?cuts ?pool ilp
+  in
+  (fp outcome, Ilp.last_stats ilp)
+
+let jobs_differential_prop =
+  QCheck.Test.make ~name:"jobs=1 = jobs=4 bit-identical (outcome + run_stats)" ~count:50
+    QCheck.small_nat (fun seed ->
+      let serial = run_once ~seed ~pool:None ~cancel_after:None () in
+      let parallel =
+        Domain_pool.with_pool ~jobs:4 (fun p ->
+            run_once ~seed ~pool:(Some p) ~cancel_after:None ())
+      in
+      serial = parallel)
+
+let budget_truncation_differential_prop =
+  (* cancelling the budget from inside the lazy-cut callback truncates the
+     search at a point that only depends on the trajectory — so even the
+     truncated outcome and its effort stats must match across job counts *)
+  QCheck.Test.make ~name:"budget-expiry truncation identical across jobs" ~count:30
+    QCheck.small_nat (fun seed ->
+      let serial = run_once ~seed ~pool:None ~cancel_after:(Some 1) () in
+      let parallel =
+        Domain_pool.with_pool ~jobs:4 (fun p ->
+            run_once ~seed ~pool:(Some p) ~cancel_after:(Some 1) ())
+      in
+      serial = parallel)
+
+let ablation_objective_prop =
+  (* presolve and cover cuts change effort, never results: outcome class and
+     optimal objective agree with each pass disabled.  No lazy cuts here —
+     a no-good callback rejects whichever candidate the trajectory reaches
+     first, so with it the four runs would (legitimately) solve different
+     final models. *)
+  QCheck.Test.make ~name:"presolve/cuts on-vs-off: identical objectives" ~count:40
+    QCheck.small_nat (fun seed ->
+      let objective_of = function
+        | Fp_optimal (o, _) -> Some o
+        | Fp_feasible _ | Fp_infeasible | Fp_node_limit | Fp_failed _ -> None
+      in
+      let class_of = function
+        | Fp_optimal _ -> 0
+        | Fp_feasible _ -> 1
+        | Fp_infeasible -> 2
+        | Fp_node_limit -> 3
+        | Fp_failed _ -> 4
+      in
+      let runs =
+        [
+          run_once ~max_fired:0 ~seed ~pool:None ~cancel_after:None ();
+          run_once ~max_fired:0 ~seed ~pool:None ~cancel_after:None ~presolve:false ();
+          run_once ~max_fired:0 ~seed ~pool:None ~cancel_after:None ~cuts:false ();
+          run_once ~max_fired:0 ~seed ~pool:None ~cancel_after:None ~presolve:false
+            ~cuts:false ();
+        ]
+      in
+      let o0, _ = List.hd runs in
+      List.for_all
+        (fun (o, _) ->
+          class_of o = class_of o0
+          &&
+          match (objective_of o, objective_of o0) with
+          | Some a, Some b -> abs_float (a -. b) < 1e-6
+          | None, None -> true
+          | Some _, None | None, Some _ -> false)
+        runs)
+
+let upper_bound_random_prop =
+  (* the per-solve cutoff row must behave exactly like incumbent priming:
+     a bound above the optimum leaves it visible, one below hides it, and
+     the builder stays reusable afterwards *)
+  QCheck.Test.make ~name:"cutoff row = incumbent priming on random models" ~count:30
+    QCheck.small_nat (fun seed ->
+      match run_once ~max_fired:0 ~seed ~pool:None ~cancel_after:None () with
+      | Fp_optimal (opt, _), _ ->
+        let rng = Rng.create ~seed in
+        let ilp, _ = random_model rng in
+        (match Ilp.solve ~upper_bound:(opt +. 0.5) ilp with
+         | Ilp.Optimal s when abs_float (s.Ilp.objective -. opt) < 1e-6 ->
+           (* same builder, re-solved with the bound below the optimum *)
+           Ilp.solve ~upper_bound:(opt -. 0.5) ilp = Ilp.Infeasible
+         | _ -> false)
+      | _ -> QCheck.assume_fail ())
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   (* exact-value assertions require the fault-free pipeline *)
@@ -167,5 +325,12 @@ let () =
           Alcotest.test_case "node limit" `Quick test_node_limit;
           Alcotest.test_case "equality row" `Quick test_equality_row;
           qt random_cover_prop;
+        ] );
+      ( "parallel differential",
+        [
+          qt jobs_differential_prop;
+          qt budget_truncation_differential_prop;
+          qt ablation_objective_prop;
+          qt upper_bound_random_prop;
         ] );
     ]

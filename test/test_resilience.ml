@@ -80,6 +80,10 @@ let with_chaos rate f =
   Chaos.set (Some { Chaos.rate; seed = Chaos.default_seed });
   Fun.protect ~finally:(fun () -> Chaos.set None) f
 
+let with_chaos_only site rate f =
+  Chaos.set ~only:site (Some { Chaos.rate; seed = Chaos.default_seed });
+  Fun.protect ~finally:(fun () -> Chaos.set None) f
+
 (* ------------------------------------------------------------------ *)
 (* Budget unit behaviour *)
 
@@ -120,7 +124,60 @@ let test_chaos_counts () =
       let n site = try List.assoc site (Chaos.strikes ()) with Not_found -> 0 in
       check Alcotest.int "simplex strikes" 2 (n Chaos.Simplex_iters);
       check Alcotest.int "ilp strikes" 1 (n Chaos.Ilp_nodes);
-      check Alcotest.int "no worker strikes" 0 (n Chaos.Worker_delay))
+      check Alcotest.int "no worker strikes" 0 (n Chaos.Worker_delay);
+      check Alcotest.int "no ilp-worker strikes" 0 (n Chaos.Ilp_worker))
+
+let test_chaos_site_filter () =
+  (* MFDFT_CHAOS=<site>:<rate> arms a single strike point *)
+  with_chaos_only Chaos.Ilp_worker 1.0 (fun () ->
+      check Alcotest.bool "filtered site strikes" true (Chaos.strike Chaos.Ilp_worker);
+      check Alcotest.bool "other sites never strike" false (Chaos.strike Chaos.Simplex_iters);
+      check Alcotest.bool "other sites never strike (2)" false (Chaos.strike Chaos.Ilp_nodes))
+
+(* ------------------------------------------------------------------ *)
+(* Worker failure under parallelism: a relaxation worker dying mid-batch
+   must drain the batch and surface one typed outcome — and leave the
+   domain pool reusable for the next solve *)
+
+(* vertex cover on an odd cycle: the root LP optimum is all-0.5, and
+   neither presolve nor cover separation can tighten pairwise x_i+x_j >= 1
+   rows — so the search must branch, and worker relaxation tasks (only
+   dispatched for non-root batches) are actually exercised.  (A single
+   sum >= 6.5 row does not work here: the extended cover cut rounds it to
+   sum >= 7 and the root comes back integral.) *)
+let branching_model () =
+  let module Ilp = Mf_ilp.Ilp in
+  let ilp = Ilp.create () in
+  let vars = Array.init 5 (fun _ -> Ilp.add_binary ~obj:1. ilp) in
+  Array.iteri (fun i v -> Ilp.add_row ilp [ (1., v); (1., vars.((i + 1) mod 5)) ] Ilp.Ge 1.) vars;
+  ilp
+
+let test_ilp_worker_chaos_drains () =
+  let module Ilp = Mf_ilp.Ilp in
+  Mf_util.Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let failed =
+        with_chaos_only Chaos.Ilp_worker 1.0 (fun () ->
+            Ilp.solve ~pool (branching_model ()))
+      in
+      (match failed with
+       | Ilp.Failed f ->
+         check Alcotest.string "typed ilp-stage failure" "ilp" (Fail.stage_name f.Fail.stage)
+       | Ilp.Optimal _ | Ilp.Feasible _ | Ilp.Infeasible | Ilp.Node_limit ->
+         Alcotest.fail "expected a typed Failed outcome under ilp-worker chaos");
+      (* chaos off, same pool: the batch drained cleanly and the pool works *)
+      match Ilp.solve ~pool (branching_model ()) with
+      | Ilp.Optimal _ -> ()
+      | _ -> Alcotest.fail "pool unusable after a drained worker failure")
+
+let test_ilp_worker_chaos_serial () =
+  (* the same strike point fires on the inline (no-pool) path too, with the
+     same typed outcome — so jobs=1 and jobs=N degrade identically *)
+  let module Ilp = Mf_ilp.Ilp in
+  with_chaos_only Chaos.Ilp_worker 1.0 (fun () ->
+      match Ilp.solve (branching_model ()) with
+      | Ilp.Failed f ->
+        check Alcotest.string "typed ilp-stage failure" "ilp" (Fail.stage_name f.Fail.stage)
+      | _ -> Alcotest.fail "expected a typed Failed outcome under ilp-worker chaos")
 
 (* ------------------------------------------------------------------ *)
 (* Typed failures *)
@@ -309,6 +366,9 @@ let () =
         [
           Alcotest.test_case "strike rates" `Quick test_chaos_rates;
           Alcotest.test_case "strike counters" `Quick test_chaos_counts;
+          Alcotest.test_case "site filter" `Quick test_chaos_site_filter;
+          Alcotest.test_case "ilp-worker drains the batch" `Quick test_ilp_worker_chaos_drains;
+          Alcotest.test_case "ilp-worker inline path" `Quick test_ilp_worker_chaos_serial;
         ] );
       ( "typed failures",
         [ Alcotest.test_case "rendering" `Quick test_fail_rendering ] );
