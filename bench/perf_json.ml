@@ -22,9 +22,15 @@ type entry = {
   objectives : float option list; (* per pool attempt; None = attempt failed *)
 }
 
-type doc = { jobs : int; entries : entry list }
+type doc = { jobs : int; cores : int; entries : entry list }
 
 let schema = "mfdft-bench-ilp-v2"
+
+(* Every document records both the parallelism the run was configured with
+   ([jobs]) and what the machine offered ([Domain.recommended_domain_count],
+   saved as [cores]) — so a baseline produced on a single-core runner is
+   recognisable as such when someone reads the numbers on a wider box. *)
+let this_cores () = Domain.recommended_domain_count ()
 
 (* ------------------------------------------------------------------ *)
 (* writer *)
@@ -32,7 +38,8 @@ let schema = "mfdft-bench-ilp-v2"
 let save path doc =
   let buf = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" schema doc.jobs;
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"entries\": [\n" schema
+    doc.jobs doc.cores;
   List.iteri
     (fun i e ->
       out "    {\"chip\": \"%s\", \"wall_ms\": %.1f, \"pivots\": %d, \"dual_pivots\": %d,\n"
@@ -190,10 +197,16 @@ let field name = function
      | None -> raise (Bad ("missing field " ^ name)))
   | _ -> raise (Bad ("not an object looking for " ^ name))
 
+(* Tolerant lookup for fields added after a baseline was committed: a
+   missing key loads as the given default instead of failing, so older
+   BENCH_*.json files keep loading until their next deliberate refresh. *)
+let field_opt name = function J_obj kvs -> List.assoc_opt name kvs | _ -> None
+
 let as_num = function J_num f -> f | _ -> raise (Bad "expected number")
 let as_int j = int_of_float (as_num j)
 let as_str = function J_str s -> s | _ -> raise (Bad "expected string")
 let as_arr = function J_arr l -> l | _ -> raise (Bad "expected array")
+let int_opt name ~default j = match field_opt name j with Some v -> as_int v | None -> default
 
 let load path : (doc, string) result =
   match In_channel.with_open_text path In_channel.input_all with
@@ -224,7 +237,11 @@ let load path : (doc, string) result =
                  (as_arr (field "objectives" e));
            }
          in
-         { jobs = as_int (field "jobs" j); entries = List.map entry (as_arr (field "entries" j)) }
+         {
+           jobs = as_int (field "jobs" j);
+           cores = int_opt "cores" ~default:1 j;
+           entries = List.map entry (as_arr (field "entries" j));
+         }
        with
        | doc -> Ok doc
        | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
@@ -240,14 +257,15 @@ type sched_entry = {
   s_routes : int; (* routing queries *)
 }
 
-type sched_doc = { s_jobs : int; s_entries : sched_entry list }
+type sched_doc = { s_jobs : int; s_cores : int; s_entries : sched_entry list }
 
 let sched_schema = "mfdft-bench-sched-v1"
 
 let save_sched path doc =
   let buf = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" sched_schema doc.s_jobs;
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"entries\": [\n"
+    sched_schema doc.s_jobs doc.s_cores;
   List.iteri
     (fun i e ->
       out
@@ -273,14 +291,15 @@ type scale_entry = {
   c_paths : int;
 }
 
-type scale_doc = { c_jobs : int; c_entries : scale_entry list }
+type scale_doc = { c_jobs : int; c_cores : int; c_entries : scale_entry list }
 
 let scale_schema = "mfdft-bench-scale-v1"
 
 let save_scale path doc =
   let buf = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" scale_schema doc.c_jobs;
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"entries\": [\n"
+    scale_schema doc.c_jobs doc.c_cores;
   List.iteri
     (fun i e ->
       out
@@ -309,14 +328,15 @@ type repair_entry = {
   r_makespan : int; (* application makespan after repair; -1 = none *)
 }
 
-type repair_doc = { r_jobs : int; r_entries : repair_entry list }
+type repair_doc = { r_jobs : int; r_cores : int; r_entries : repair_entry list }
 
 let repair_schema = "mfdft-bench-repair-v1"
 
 let save_repair path doc =
   let buf = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"entries\": [\n" repair_schema doc.r_jobs;
+  out "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"entries\": [\n"
+    repair_schema doc.r_jobs doc.r_cores;
   List.iteri
     (fun i e ->
       out
@@ -407,6 +427,7 @@ let load_sched path : (sched_doc, string) result =
          in
          {
            s_jobs = as_int (field "jobs" j);
+           s_cores = int_opt "cores" ~default:1 j;
            s_entries = List.map entry (as_arr (field "entries" j));
          }
        with
@@ -437,6 +458,7 @@ let load_scale path : (scale_doc, string) result =
          in
          {
            c_jobs = as_int (field "jobs" j);
+           c_cores = int_opt "cores" ~default:1 j;
            c_entries = List.map entry (as_arr (field "entries" j));
          }
        with
@@ -469,6 +491,7 @@ let load_repair path : (repair_doc, string) result =
          in
          {
            r_jobs = as_int (field "jobs" j);
+           r_cores = int_opt "cores" ~default:1 j;
            r_entries = List.map entry (as_arr (field "entries" j));
          }
        with
@@ -577,4 +600,114 @@ let compare_sched ~(baseline : sched_doc) (current : sched_doc) : string list * 
         if e.s_routes <> b.s_routes then
           note "%s: route queries changed %d -> %d" b.s_name b.s_routes e.s_routes)
     baseline.s_entries;
+  (List.rev !failures, List.rev !notes)
+
+(* ------------------------------------------------------------------ *)
+(* serve-mode engine benchmark (bench -- serve / BENCH_serve.json) *)
+
+type serve_entry = {
+  v_name : string; (* "chip/assay" *)
+  v_fingerprint : string; (* submission fingerprint (canonical-form digest) *)
+  v_digest : string; (* result digest — byte-identity anchor for the cache *)
+  v_cold_ms : float; (* cold solve through the engine, empty cache *)
+  v_hit_ms : float; (* mean cache-hit service latency for the same spec *)
+}
+
+type serve_doc = {
+  v_jobs : int;
+  v_cores : int;
+  v_warm_jobs_per_s : float; (* resubmission throughput against a warm cache *)
+  v_entries : serve_entry list;
+}
+
+let serve_schema = "mfdft-bench-serve-v1"
+
+let save_serve path doc =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "{\n  \"schema\": \"%s\",\n  \"jobs\": %d,\n  \"cores\": %d,\n\
+    \  \"warm_jobs_per_s\": %.1f,\n  \"entries\": [\n"
+    serve_schema doc.v_jobs doc.v_cores doc.v_warm_jobs_per_s;
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"name\": \"%s\", \"fingerprint\": \"%s\", \"digest\": \"%s\",\n\
+        \     \"cold_ms\": %.1f, \"hit_ms\": %.3f}%s\n"
+        e.v_name e.v_fingerprint e.v_digest e.v_cold_ms e.v_hit_ms
+        (if i = List.length doc.v_entries - 1 then "" else ","))
+    doc.v_entries;
+  out "  ]\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let load_serve path : (serve_doc, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match parse text with
+    | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | j ->
+      (match
+         let s = as_str (field "schema" j) in
+         if s <> serve_schema then raise (Bad ("unknown schema " ^ s));
+         let entry e =
+           {
+             v_name = as_str (field "name" e);
+             v_fingerprint = as_str (field "fingerprint" e);
+             v_digest = as_str (field "digest" e);
+             v_cold_ms = as_num (field "cold_ms" e);
+             v_hit_ms = as_num (field "hit_ms" e);
+           }
+         in
+         {
+           v_jobs = as_int (field "jobs" j);
+           v_cores = int_opt "cores" ~default:1 j;
+           v_warm_jobs_per_s = as_num (field "warm_jobs_per_s" j);
+           v_entries = List.map entry (as_arr (field "entries" j));
+         }
+       with
+       | doc -> Ok doc
+       | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+(* Serve gate: fingerprints and result digests are deterministic — any
+   drift means the canonical form or the solver changed, which silently
+   invalidates every cached result in the wild, so both are hard failures.
+   Cold wall and hit latency get the usual tolerance (hit latencies are
+   single-digit milliseconds, so the absolute slack is proportionally
+   smaller); warm throughput is a higher-is-better gate.  Wall checks are
+   skipped across differing job counts, matching the LP gate. *)
+let compare_serve ~(baseline : serve_doc) (current : serve_doc) : string list * string list =
+  let failures = ref [] in
+  let notes = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  let same_jobs = baseline.v_jobs = current.v_jobs in
+  if not same_jobs then
+    note "baseline at %d job(s), current at %d: wall-clock checks skipped" baseline.v_jobs
+      current.v_jobs;
+  List.iter
+    (fun (b : serve_entry) ->
+      match List.find_opt (fun e -> e.v_name = b.v_name) current.v_entries with
+      | None -> fail "%s: missing from current run" b.v_name
+      | Some e ->
+        if e.v_fingerprint <> b.v_fingerprint then
+          fail "%s: fingerprint drifted %s -> %s (canonical form changed)" b.v_name
+            b.v_fingerprint e.v_fingerprint;
+        if e.v_digest <> b.v_digest then
+          fail "%s: result digest drifted %s -> %s (solver output changed)" b.v_name b.v_digest
+            e.v_digest;
+        if same_jobs && e.v_cold_ms > (tolerance *. b.v_cold_ms) +. 50. then
+          fail "%s: cold-solve wall regression %.0f ms -> %.0f ms (>%.0f%% over baseline)"
+            b.v_name b.v_cold_ms e.v_cold_ms
+            ((tolerance -. 1.) *. 100.);
+        if same_jobs && e.v_hit_ms > (tolerance *. b.v_hit_ms) +. 5. then
+          fail "%s: cache-hit latency regression %.2f ms -> %.2f ms (>%.0f%% over baseline)"
+            b.v_name b.v_hit_ms e.v_hit_ms
+            ((tolerance -. 1.) *. 100.))
+    baseline.v_entries;
+  if same_jobs && current.v_warm_jobs_per_s < (baseline.v_warm_jobs_per_s /. tolerance) -. 2.
+  then
+    fail "warm throughput regression %.1f jobs/s -> %.1f jobs/s (>%.0f%% below baseline)"
+      baseline.v_warm_jobs_per_s current.v_warm_jobs_per_s
+      ((tolerance -. 1.) *. 100.);
   (List.rev !failures, List.rev !notes)

@@ -722,6 +722,228 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export SVG renderings (flow layer, control layer, schedule).")
     Term.(const run $ chip_arg $ assay_opt $ out_dir)
 
+(* ------------------------------------------------------------------ *)
+
+(* Serve mode: a persistent daemon with a content-addressed result cache
+   (see DESIGN.md Sec. 16), plus a thin line-protocol client and the local
+   fingerprint printer. *)
+
+module Serve = Mf_serve.Server
+module Sjson = Mf_serve.Json
+module Sproto = Mf_serve.Protocol
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default mfdft.sock; ignored with $(b,--tcp)).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Use loopback TCP on this port instead of a Unix socket.")
+
+let fp_options_args =
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale PSO budgets instead of the quick CI budgets.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PSO random seed.")
+  in
+  (full, seed)
+
+let serve_cmd =
+  let run socket tcp state jobs mem_cap disk_cap ckpt_every =
+    let endpoint =
+      match (socket, tcp) with
+      | _, Some port -> Serve.Tcp port
+      | Some path, None -> Serve.Unix_socket path
+      | None, None -> Serve.Unix_socket "mfdft.sock"
+    in
+    let jobs = match jobs with Some j -> max 1 j | None -> 1 in
+    Serve.run
+      {
+        Serve.endpoint;
+        state_dir = state;
+        jobs;
+        mem_capacity = mem_cap;
+        disk_capacity = disk_cap;
+        checkpoint_every = ckpt_every;
+      }
+  in
+  let state_arg =
+    Arg.(
+      value & opt string "mfdft-state"
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:"State directory: result cache, persisted job specs and checkpoints.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains shared across all jobs (default 1).")
+  in
+  let mem_arg =
+    Arg.(value & opt int 256 & info [ "mem-cache" ] ~docv:"N" ~doc:"In-memory cache entries.")
+  in
+  let disk_arg =
+    Arg.(value & opt int 4096 & info [ "disk-cache" ] ~docv:"N" ~doc:"On-disk cache entries.")
+  in
+  let ckpt_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Snapshot running jobs every N outer iterations (crash-recovery granularity).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the DFT-as-a-service daemon: a job queue over one shared domain pool with a \
+          content-addressed result cache and crash recovery.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ state_arg $ jobs_arg $ mem_arg $ disk_arg $ ckpt_arg)
+
+let source_conv kind known =
+  let parse s =
+    if List.mem s known then Ok (Sproto.Name s)
+    else if Sys.file_exists s then
+      Ok (Sproto.Text (In_channel.with_open_text s In_channel.input_all))
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown %s %S (known: %s; or pass a file)" kind s
+              (String.concat ", " known)))
+  in
+  let print ppf = function
+    | Sproto.Name n -> Fmt.string ppf n
+    | Sproto.Text _ -> Fmt.string ppf "<inline>"
+  in
+  Arg.conv (parse, print)
+
+let chip_source_arg =
+  Arg.(
+    value
+    & opt (some (source_conv "chip" Benchmarks.names)) None
+    & info [ "chip" ] ~docv:"CHIP" ~doc:"Benchmark chip name or a .chip file (sent inline).")
+
+let assay_source_arg =
+  Arg.(
+    value
+    & opt (some (source_conv "assay" Assays.names)) None
+    & info [ "assay" ] ~docv:"ASSAY" ~doc:"Assay name or a .assay file (sent inline).")
+
+let submit_cmd =
+  let run socket tcp raw chip assay full seed priority deadline no_wait =
+    let addr =
+      match (socket, tcp) with
+      | _, Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, None -> Unix.ADDR_UNIX "mfdft.sock"
+    in
+    let domain = match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with Unix.Unix_error (e, _, _) ->
+       Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    in
+    let request =
+      match raw with
+      | Some line -> line
+      | None ->
+        let need name = function
+          | Some v -> v
+          | None ->
+            Format.eprintf "error: --%s is required (or use --raw)@." name;
+            exit 1
+        in
+        let spec =
+          {
+            Sproto.chip = need "chip" chip;
+            assay = need "assay" assay;
+            options = { Mf_serve.Fingerprint.full; seed };
+            priority;
+            deadline;
+            wait = not no_wait;
+          }
+        in
+        (match (Sproto.submit_to_json spec, deadline) with
+         | Sjson.Obj kvs, Some d -> Sjson.to_line (Sjson.Obj (kvs @ [ ("deadline", Sjson.Num d) ]))
+         | j, _ -> Sjson.to_line j)
+    in
+    send request;
+    (* print response lines until the payload (or an error) terminates the
+       exchange; --raw and --no-wait exchanges end sooner *)
+    let rec pump () =
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) -> 0
+      | line ->
+        print_endline line;
+        (match Sjson.parse line with
+         | Error _ -> pump ()
+         | Ok j ->
+           if Sjson.str_field "type" j = Some "result" then 0
+           else if Sjson.member "ok" j = Some (Sjson.Bool false) then 1
+           else if raw <> None then 0
+           else if no_wait && Sjson.member "cached" j = Some (Sjson.Bool false) then 0
+           else pump ())
+    in
+    let code = pump () in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if code <> 0 then exit code
+  in
+  let raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"LINE"
+          ~doc:"Send this protocol line verbatim (e.g. '{\"cmd\":\"stats\"}') and print the reply.")
+  in
+  let priority_arg =
+    Arg.(value & opt int 0 & info [ "priority" ] ~docv:"N" ~doc:"Higher runs first (default 0).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; budgeted jobs are never cached or deduplicated.")
+  in
+  let no_wait_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ] ~doc:"Acknowledge only; poll later with --raw '{\"cmd\":\"result\",...}'.")
+  in
+  let full_arg, seed_arg = fp_options_args in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a codesign job to a running serve daemon.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ raw_arg $ chip_source_arg $ assay_source_arg
+      $ full_arg $ seed_arg $ priority_arg $ deadline_arg $ no_wait_arg)
+
+let fingerprint_cmd =
+  let run chip (_, app) full seed =
+    print_endline
+      (Mf_serve.Fingerprint.digest ~chip ~assay:app ~options:{ Mf_serve.Fingerprint.full; seed })
+  in
+  let full_arg, seed_arg = fp_options_args in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:
+         "Print the canonical content fingerprint of a chip + assay + options submission — \
+          the serve cache's address, computed over the parsed representation.")
+    Term.(const run $ chip_arg $ assay_arg $ full_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "mfdft" ~version:"1.0.0"
@@ -730,7 +952,7 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; render_cmd; gen_cmd; lint_cmd; verify_cmd; testgen_cmd; schedule_cmd;
-        codesign_cmd; repair_cmd; export_cmd ]
+        codesign_cmd; repair_cmd; export_cmd; serve_cmd; submit_cmd; fingerprint_cmd ]
   in
   (* One-line diagnostics instead of backtraces: anything the commands do
      not handle themselves surfaces as "mfdft: error: ..." with exit 3. *)

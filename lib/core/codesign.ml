@@ -356,11 +356,12 @@ let decode_constrained allowed position =
 let random_constrained rng allowed =
   List.map (fun (d, options) -> (d, options.(Rng.int rng (Array.length options)))) allowed
 
-let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
+let run ?(params = default_params) ?pool ?domains ?budget ?checkpoint ?progress ?stop chip
+    app =
   let started = Unix.gettimeofday () in
   let rng = Rng.create ~seed:params.seed in
   let evaluations = Atomic.make 0 in
-  Domain_pool.with_pool ~jobs:(max 1 params.jobs) @@ fun dpool ->
+  let go dpool =
   let resume_snap =
     match checkpoint with
     | Some ck when ck.resume ->
@@ -505,19 +506,26 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
     in
     let exception Stop_after_checkpoint of int in
     let hook =
-      match checkpoint with
-      | None -> None
-      | Some ck ->
+      match (checkpoint, progress, stop) with
+      | None, None, None -> None
+      | _ ->
         Some
           (fun it state ->
-            let stop = ck.stop_after = Some it in
-            let due =
-              stop
-              || (ck.every > 0 && it mod ck.every = 0)
-              || it = params.outer.Pso.iterations
+            (match progress with Some f -> f it | None -> ());
+            let stop_here =
+              (match stop with Some f -> f () | None -> false)
+              || (match checkpoint with Some ck -> ck.stop_after = Some it | None -> false)
             in
-            if due then save_snapshot ck.path (snapshot_of state);
-            if stop then raise (Stop_after_checkpoint it))
+            (match checkpoint with
+             | None -> ()
+             | Some ck ->
+               let due =
+                 stop_here
+                 || (ck.every > 0 && it mod ck.every = 0)
+                 || it = params.outer.Pso.iterations
+               in
+               if due then save_snapshot ck.path (snapshot_of state));
+            if stop_here then raise (Stop_after_checkpoint it))
     in
     let outcome =
       match
@@ -528,7 +536,15 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
       with
       | outcome -> Ok outcome
       | exception Stop_after_checkpoint it ->
-        let path = match checkpoint with Some ck -> ck.path | None -> "?" in
+        let msg =
+          match checkpoint with
+          | Some ck ->
+            Printf.sprintf
+              "stopped after outer iteration %d; checkpoint saved to %s (rerun with \
+               --resume to continue)"
+              it ck.path
+          | None -> Printf.sprintf "stopped after outer iteration %d (no checkpoint)" it
+        in
         Error
           (Mf_util.Fail.v Mf_util.Fail.Codesign
              ?incumbent:
@@ -536,10 +552,7 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
                 | Some (_, _, fit) when fit < invalid_threshold ->
                   Some (Printf.sprintf "makespan %d" (int_of_float fit))
                 | _ -> None)
-             (Printf.sprintf
-                "stopped after outer iteration %d; checkpoint saved to %s (rerun with \
-                 --resume to continue)"
-                it path))
+             msg)
     in
     match outcome with
     | Error f -> Error f
@@ -630,6 +643,10 @@ let run ?(params = default_params) ?pool ?budget ?checkpoint chip app =
            runtime = Unix.gettimeofday () -. started;
            degradations;
          })
+  in
+  match domains with
+  | Some dpool -> go dpool
+  | None -> Domain_pool.with_pool ~jobs:(max 1 params.jobs) go
 
 (* The claims a finished run makes about itself, in the form the
    independent checker re-proves.  Coverage is re-measured here rather than

@@ -107,15 +107,35 @@ type checkpoint = {
 val run :
   ?params:params ->
   ?pool:Pool.t ->
+  ?domains:Mf_util.Domain_pool.t ->
   ?budget:Mf_util.Budget.t ->
   ?checkpoint:checkpoint ->
+  ?progress:(int -> unit) ->
+  ?stop:(unit -> bool) ->
   Mf_arch.Chip.t ->
   Mf_bioassay.Seqgraph.t ->
   (result, Mf_util.Fail.t) Stdlib.result
 (** [run chip app] executes the whole flow.  [pool] short-circuits the ILP
     configuration-pool construction — pools depend only on the chip, so
     callers evaluating several applications on one chip (Table 1) build the
-    pool once.  Results are deterministic in [params.seed] and independent
+    pool once.
+
+    [domains] supplies an external worker pool for every fan-out (pool
+    construction and outer-PSO batches) instead of creating one per run;
+    [params.jobs] is then ignored.  The serve daemon uses this to share one
+    pool across its whole job queue — domain spin-up is paid once, not per
+    submission.  The usual {!Mf_util.Domain_pool} discipline applies: call
+    [run] from the domain that created the pool, one run at a time.
+    Results are identical with an external or internal pool of any size.
+
+    [progress] is called after every completed outer iteration with the
+    iteration number (checkpoint-hook cadence, on the coordinating domain).
+    [stop] is polled at the same points; when it returns [true] the run
+    saves a snapshot to the [checkpoint] path (if one is configured) and
+    aborts with a typed failure naming it — the graceful-shutdown
+    counterpart to [checkpoint.stop_after].
+
+    Results are deterministic in [params.seed] and independent
     of [params.jobs]: the outer swarm runs in batch-synchronous mode, all
     rng splits and position updates happen on the coordinating domain, and
     only the pure inner-PSO evaluations fan out to worker domains (the

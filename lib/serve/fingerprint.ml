@@ -1,0 +1,48 @@
+module Chip = Mf_arch.Chip
+module Codesign = Mfdft.Codesign
+
+type options = { full : bool; seed : int }
+
+let default_options = { full = false; seed = 42 }
+
+(* Version tag: bump when the canonical text changes shape, so stale
+   on-disk cache entries from older layouts can never alias a new
+   submission's address. *)
+let version = "mfdft-fingerprint-v1"
+
+let canonical ~chip ~assay ~options =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf version;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "options full=%b seed=%d\n" options.full options.seed);
+  Buffer.add_string buf "chip\n";
+  Buffer.add_string buf (Mf_arch.Chip_io.to_string chip);
+  Buffer.add_string buf "assay\n";
+  Buffer.add_string buf (Mf_bioassay.Assay_io.to_string assay);
+  Buffer.contents buf
+
+let digest ~chip ~assay ~options =
+  Digest.to_hex (Digest.string (canonical ~chip ~assay ~options))
+
+let result_digest (r : Codesign.result) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "mfdft-result-v1\n";
+  Buffer.add_string buf (Mf_arch.Chip_io.to_string r.Codesign.shared);
+  let suite = r.Codesign.suite in
+  out "suite %d %d\n" suite.Mf_testgen.Vectors.source_port suite.Mf_testgen.Vectors.meter_port;
+  let ints l = String.concat "," (List.map string_of_int l) in
+  List.iter (fun p -> out "path %s\n" (ints p)) suite.Mf_testgen.Vectors.path_edges;
+  List.iter (fun c -> out "cut %s\n" (ints c)) suite.Mf_testgen.Vectors.cut_valves;
+  List.iter (fun (d, o) -> out "share %d %d\n" d o) r.Codesign.sharing;
+  let time = function Some t -> string_of_int t | None -> "-" in
+  out "exec %s %s %s %s\n" (time r.Codesign.exec_original) (time r.Codesign.exec_dft_unshared)
+    (time r.Codesign.exec_dft_no_pso) (time r.Codesign.exec_final);
+  out "counts %d %d %d %d\n" r.Codesign.n_dft_valves r.Codesign.n_shared
+    r.Codesign.n_vectors_dft r.Codesign.evaluations;
+  List.iter (fun v -> out "trace %.9g\n" v) r.Codesign.trace;
+  List.iter
+    (fun d -> out "degradation %s\n" (Codesign.degradation_to_string d))
+    r.Codesign.degradations;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,40 @@
+(** Zero-dependency JSON values for the line-oriented serve protocol.
+
+    One value per line: {!to_line} never emits a raw newline (control
+    characters are escaped), so a protocol message is always exactly one
+    [\n]-terminated line and clients can frame on [input_line].
+
+    The parser accepts standard JSON (objects, arrays, strings with the
+    usual escapes including [\uXXXX], numbers, [true]/[false]/[null]);
+    numbers are held as [float], which is exact for every integer the
+    protocol uses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_line : t -> string
+(** Render on a single line, no trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete value; trailing garbage is an error. *)
+
+(** {2 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] for absent fields and non-objects. *)
+
+val str : t -> string option
+val num : t -> float option
+val int_of : t -> int option
+val bool_of : t -> bool option
+
+val int_field : string -> t -> int option
+val str_field : string -> t -> string option
+
+val obj : (string * t) list -> t
+(** [Obj] constructor, for pipelines. *)

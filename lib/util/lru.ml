@@ -1,0 +1,88 @@
+(* Hashtable over intrusive doubly-linked nodes: the list holds recency
+   order (head = most recent), the table holds key -> node. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* towards head / more recent *)
+  mutable next : ('k, 'v) node option; (* towards tail / less recent *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  { cap = capacity; tbl = Hashtbl.create (min capacity 64); head = None; tail = None; len = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.tbl k)
+let mem t k = Hashtbl.mem t.tbl k
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl k;
+    t.len <- t.len - 1
+
+let add t k v =
+  (match Hashtbl.find_opt t.tbl k with
+   | Some node ->
+     node.value <- v;
+     unlink t node;
+     push_front t node
+   | None ->
+     let node = { key = k; value = v; prev = None; next = None } in
+     Hashtbl.replace t.tbl k node;
+     push_front t node;
+     t.len <- t.len + 1);
+  if t.len > t.cap then begin
+    match t.tail with
+    | None -> assert false (* len > cap >= 1 implies a tail *)
+    | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.tbl lru.key;
+      t.len <- t.len - 1;
+      Some (lru.key, lru.value)
+  end
+  else None
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,39 @@
+(** Bounded least-recently-used map.
+
+    A fixed-capacity polymorphic key/value store that evicts the entry
+    touched longest ago once full — the in-memory tier of the serve-mode
+    result cache, but generic (hashtable plus intrusive doubly-linked
+    recency list; every operation is O(1) expected).
+
+    Not thread-safe: callers that share an LRU across threads guard it with
+    their own mutex (the serve cache does). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [create ~capacity] holds at most [capacity] entries.
+    Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [find t k] returns the bound value and marks [k] most recently used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} but without refreshing recency — for inspection paths that
+    must not disturb eviction order. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Recency-neutral membership test. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** [add t k v] binds [k] to [v] as the most recent entry, replacing any
+    previous binding of [k].  Returns the evicted least-recent binding when
+    the insertion pushed the map over capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** No-op when [k] is unbound. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Bindings most-recently-used first. *)

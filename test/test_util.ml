@@ -226,6 +226,48 @@ let union_find_prop =
         (fun (a, b) -> Union_find.same uf a b = (naive_root a = naive_root b))
         (List.concat_map (fun a -> List.map (fun b -> (a, b)) [ 0; 5; 10; 15 ]) [ 0; 3; 7; 15 ]))
 
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+module Lru = Mf_util.Lru
+
+let test_lru_basic () =
+  let l = Lru.create ~capacity:2 in
+  check Alcotest.bool "fits" true (Lru.add l "a" 1 = None);
+  check Alcotest.bool "fits" true (Lru.add l "b" 2 = None);
+  check Alcotest.bool "find refreshes" true (Lru.find l "a" = Some 1);
+  (* "b" is now least-recently-used and gets evicted *)
+  check Alcotest.bool "evicts lru" true (Lru.add l "c" 3 = Some ("b", 2));
+  check Alcotest.bool "evicted gone" false (Lru.mem l "b");
+  check Alcotest.int "length" 2 (Lru.length l);
+  check Alcotest.bool "mru order" true (List.map fst (Lru.to_list l) = [ "c"; "a" ])
+
+let test_lru_replace_and_remove () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" 1);
+  check Alcotest.bool "replace, no eviction" true (Lru.add l "a" 10 = None);
+  check Alcotest.bool "replaced value" true (Lru.peek l "a" = Some 10);
+  check Alcotest.int "no duplicate node" 1 (Lru.length l);
+  Lru.remove l "a";
+  check Alcotest.int "removed" 0 (Lru.length l);
+  Lru.remove l "a" (* idempotent *)
+
+let lru_model_prop =
+  QCheck.Test.make ~name:"lru matches naive model" ~count:200
+    QCheck.(pair (int_range 1 4) (list (pair (int_bound 7) (int_bound 100))))
+    (fun (cap, ops) ->
+      let l = Lru.create ~capacity:cap in
+      (* naive model: association list, most recent first *)
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          ignore (Lru.add l k v);
+          model := (k, v) :: List.remove_assoc k !model;
+          if List.length !model > cap then
+            model := List.filteri (fun i _ -> i < cap) !model)
+        ops;
+      Lru.to_list l = !model)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   (* exact-value assertions require the fault-free pipeline *)
@@ -262,4 +304,10 @@ let () =
         ] );
       ( "union_find",
         [ Alcotest.test_case "basic" `Quick test_union_find; qt union_find_prop ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "replace/remove" `Quick test_lru_replace_and_remove;
+          qt lru_model_prop;
+        ] );
     ]
